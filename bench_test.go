@@ -1,0 +1,319 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§4). Each benchmark runs the corresponding experiment
+// at a reduced scale and reports the headline numbers as custom
+// metrics, so `go test -bench=. -benchmem` doubles as the
+// reproduction harness. Run `cmd/gfsbench -scale paper` for the
+// full-scale version.
+package gfs_test
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sjtucitlab/gfs/internal/experiments"
+	"github.com/sjtucitlab/gfs/internal/stats"
+)
+
+// benchScale sizes the scheduling benchmarks: a 512-GPU pool over two
+// days (MediumScale), where eviction-rate differences between
+// schedulers are resolvable, with trimmed estimator training.
+func benchScale() experiments.SimScale {
+	s := experiments.MediumScale()
+	s.TrainDays = 10
+	s.OrgLinearEpochs = 6
+	return s
+}
+
+// benchFigScale keeps the fast observational figures at small scale.
+func benchFigScale() experiments.SimScale {
+	s := experiments.SmallScale()
+	s.TrainDays = 7
+	s.OrgLinearEpochs = 6
+	return s
+}
+
+func benchFcScale() experiments.FcScale {
+	return experiments.FcScale{Weeks: 2, L: 48, H: 6, DeepEpochs: 2, LinearEpochs: 15, Seed: 9}
+}
+
+// BenchmarkTable1ClusterStats regenerates Table 1: per-pool GPU
+// statistics and allocation rates under the pre-GFS scheduler.
+func BenchmarkTable1ClusterStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(benchFigScale())
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(100*r.AllocationRate, "allocPct_"+r.Model)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure2RequestCDF regenerates Fig. 2: request-size CDFs
+// for the 2020 and 2024 regimes.
+func BenchmarkFigure2RequestCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure2(benchFigScale())
+		if i == b.N-1 {
+			b.ReportMetric(100*experiments.FullCardFraction(d.Pod2024), "fullCardPct2024")
+			b.ReportMetric(100*experiments.FullCardFraction(d.Pod2020), "fullCardPct2020")
+		}
+	}
+}
+
+// BenchmarkFigure3RunQueue regenerates Fig. 3: run/queue time by
+// request size under first-fit.
+func BenchmarkFigure3RunQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Figure3(benchFigScale())
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.GPUs == 1 {
+					b.ReportMetric(r.MeanQueueH, "meanQueueH_1gpu")
+				}
+				if r.GPUs == 8 {
+					b.ReportMetric(r.MeanQueueH, "meanQueueH_8gpu")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure4OrgDemand regenerates Fig. 4: the four-organization
+// demand panel.
+func BenchmarkFigure4OrgDemand(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := experiments.Figure4(int64(i) + 1)
+		if i == b.N-1 {
+			b.ReportMetric(stats.Max(p["OrgB"]), "orgB_maxGPUs")
+			b.ReportMetric(stats.Min(p["OrgB"]), "orgB_minGPUs")
+		}
+	}
+}
+
+// BenchmarkFigure5EvictionWeeks regenerates Fig. 5: hourly eviction
+// rates over four weeks of static-quota scheduling.
+func BenchmarkFigure5EvictionWeeks(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure5(benchFigScale(), 4)
+		if i == b.N-1 && len(d.Weeks) == 4 {
+			b.ReportMetric(d.Weeks[2].Max, "week3_maxRate")
+			b.ReportMetric(d.Weeks[0].Mid, "week1_midRate")
+		}
+	}
+}
+
+// BenchmarkFigure8Heatmap regenerates Fig. 8: three-cluster
+// allocation heatmaps.
+func BenchmarkFigure8Heatmap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d := experiments.Figure8(benchFigScale())
+		if i == b.N-1 {
+			for _, c := range d {
+				b.ReportMetric(100*c.MeanRate, "allocPct_"+c.Name)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure9Deployment regenerates Fig. 9: pre/post GFS
+// deployment eviction and allocation rates.
+func BenchmarkFigure9Deployment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure9(benchFigScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				b.ReportMetric(100*(r.AllocPost-r.AllocPre), "allocGainPct_"+r.Model)
+			}
+		}
+	}
+}
+
+// BenchmarkTable5Comparison regenerates Table 5 at the medium spot
+// workload: GFS vs the four baselines.
+func BenchmarkTable5Comparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5(benchScale(), 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Scheduler == "GFS" {
+					b.ReportMetric(r.HPJQT, "gfsHPJQTs")
+					b.ReportMetric(r.SpotJQT, "gfsSpotJQTs")
+					b.ReportMetric(100*r.EvictionRate, "gfsEvictPct")
+				}
+				if r.Scheduler == "YARN-CS" {
+					b.ReportMetric(100*r.EvictionRate, "yarnEvictPct")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable5LowSpot regenerates Table 5a (low spot workload).
+func BenchmarkTable5LowSpot(b *testing.B) {
+	benchTable5At(b, 1)
+}
+
+// BenchmarkTable5HighSpot regenerates Table 5c (high spot workload).
+func BenchmarkTable5HighSpot(b *testing.B) {
+	benchTable5At(b, 4)
+}
+
+func benchTable5At(b *testing.B, spotScale float64) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table5(benchScale(), spotScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			imp := experiments.ImprovementOverBest(rows, func(r experiments.SchedRow) float64 {
+				return r.SpotJCT
+			})
+			b.ReportMetric(100*imp, "gfsSpotJCTGainPct")
+		}
+	}
+}
+
+// BenchmarkTable6GuaranteeHours regenerates Table 6: sensitivity to
+// H ∈ {1, 2, 4}.
+func BenchmarkTable6GuaranteeHours(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table6(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				switch r.H {
+				case 1:
+					b.ReportMetric(r.SpotJQT, "spotJQTs_H1")
+				case 4:
+					b.ReportMetric(r.SpotJQT, "spotJQTs_H4")
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFigure10ForecastAccuracy regenerates Fig. 10: OrgLinear vs
+// the six forecasting baselines.
+func BenchmarkFigure10ForecastAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Figure10(benchFcScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			for _, r := range rows {
+				if r.Model == "OrgLinear" || r.Model == "DeepAR" || r.Model == "Transformer" {
+					b.ReportMetric(r.MAE, "mae_"+r.Model)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkTable7Quantile regenerates Table 7: quantile accuracy and
+// training time, OrgLinear vs DeepAR.
+func BenchmarkTable7Quantile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table7(benchFcScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var ol, dar experiments.Table7Row
+			for _, r := range rows {
+				if r.Model == "OrgLinear" {
+					ol = r
+				} else {
+					dar = r
+				}
+			}
+			b.ReportMetric(ol.MAQE95, "orgLinearMAQE95")
+			b.ReportMetric(dar.MAQE95, "deepARMAQE95")
+			if ol.TrainSeconds > 0 {
+				b.ReportMetric(dar.TrainSeconds/ol.TrainSeconds, "trainSpeedup")
+			}
+		}
+	}
+}
+
+// BenchmarkTable8AblationGDE regenerates Table 8: GFS-e vs GFS.
+func BenchmarkTable8AblationGDE(b *testing.B) {
+	benchAblation(b, experiments.Table8, "GFS-e")
+}
+
+// BenchmarkTable9AblationSQA regenerates Table 9: GFS-d vs GFS.
+func BenchmarkTable9AblationSQA(b *testing.B) {
+	benchAblation(b, experiments.Table9, "GFS-d")
+}
+
+// BenchmarkTable10AblationPTS regenerates Table 10: GFS-sp/-s/-p vs
+// GFS.
+func BenchmarkTable10AblationPTS(b *testing.B) {
+	benchAblation(b, experiments.Table10, "GFS-sp")
+}
+
+func benchAblation(b *testing.B, exp func(experiments.SimScale) ([]experiments.AblationRow, error), degraded string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rows, err := exp(benchScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			var full, deg experiments.AblationRow
+			for _, r := range rows {
+				if r.Variant == "GFS" {
+					full = r
+				}
+				if r.Variant == degraded {
+					deg = r
+				}
+			}
+			b.ReportMetric(full.SpotJQT, "gfsSpotJQTs")
+			b.ReportMetric(deg.SpotJQT, "degradedSpotJQTs")
+			if !math.IsNaN(deg.EvictionRate) {
+				b.ReportMetric(100*deg.EvictionRate, "degradedEvictPct")
+				b.ReportMetric(100*full.EvictionRate, "gfsEvictPct")
+			}
+		}
+	}
+}
+
+// BenchmarkMonthlyBenefit regenerates the §4.3 dollar-benefit
+// estimate from the paper's deployment deltas.
+func BenchmarkMonthlyBenefit(b *testing.B) {
+	var total float64
+	for i := 0; i < b.N; i++ {
+		total, _ = experiments.MonthlyBenefit(nil)
+	}
+	b.ReportMetric(total, "usdPerMonth")
+}
+
+// BenchmarkAblationCircuitBreaker measures the design choice called
+// out in DESIGN.md: the Score3 circuit breaker on vs off, at the high
+// spot workload where hot nodes matter most.
+func BenchmarkAblationCircuitBreaker(b *testing.B) {
+	scale := benchScale()
+	for i := 0; i < b.N; i++ {
+		est, err := scale.TrainEstimator()
+		if err != nil {
+			b.Fatal(err)
+		}
+		on := scale.RunGFS(scale.NewGFS(est, experiments.GFSFull, 1), scale.Trace(4))
+		off := scale.RunGFS(scale.NewGFS(est, experiments.GFSSimpleScore, 1), scale.Trace(4))
+		if i == b.N-1 {
+			b.ReportMetric(100*on.Spot.EvictionRate, "evictPct_breakerOn")
+			b.ReportMetric(100*off.Spot.EvictionRate, "evictPct_scoreOff")
+		}
+	}
+}

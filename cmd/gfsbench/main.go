@@ -1,0 +1,182 @@
+// Command gfsbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	gfsbench -experiment all -scale small
+//	gfsbench -experiment table5 -scale paper
+//
+// Experiments: table1, table5, table6, table7, table8, table9,
+// table10, fig2, fig3, fig4, fig5, fig8, fig9, fig10, benefit, all.
+// Scales: small (128 GPUs), medium (512), paper (2,296).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/sjtucitlab/gfs/internal/experiments"
+	"github.com/sjtucitlab/gfs/internal/stats"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment id (table1..table10, fig2..fig10, benefit, all)")
+	scaleName := flag.String("scale", "small", "small | medium | paper")
+	fcScaleName := flag.String("fcscale", "", "forecasting scale: small | paper (defaults to -scale)")
+	flag.Parse()
+
+	scale, ok := simScale(*scaleName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gfsbench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	if *fcScaleName == "" {
+		*fcScaleName = *scaleName
+	}
+	fc := experiments.SmallFcScale()
+	if *fcScaleName == "paper" {
+		fc = experiments.PaperFcScale()
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig8",
+			"fig9", "table5", "table6", "fig10", "table7",
+			"table8", "table9", "table10", "benefit"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := run(strings.TrimSpace(id), scale, fc); err != nil {
+			fmt.Fprintf(os.Stderr, "gfsbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func simScale(name string) (experiments.SimScale, bool) {
+	switch name {
+	case "small":
+		return experiments.SmallScale(), true
+	case "medium":
+		return experiments.MediumScale(), true
+	case "paper":
+		return experiments.PaperScale(), true
+	}
+	return experiments.SimScale{}, false
+}
+
+func run(id string, scale experiments.SimScale, fc experiments.FcScale) error {
+	switch id {
+	case "table1":
+		fmt.Println("== Table 1: GPU statistics under the pre-GFS scheduler ==")
+		fmt.Print(experiments.FormatTable1(experiments.Table1(scale)))
+	case "table5":
+		for _, w := range []struct {
+			name  string
+			scale float64
+		}{{"Low", 1}, {"Medium", 2}, {"High", 4}} {
+			rows, err := experiments.Table5(scale, w.scale)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("== Table 5 (%s spot workload) ==\n%s\n", w.name, experiments.FormatTable5(rows))
+		}
+	case "table6":
+		rows, err := experiments.Table6(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Table 6: guarantee-hours sensitivity ==\n%s", experiments.FormatTable6(rows))
+	case "table7":
+		rows, err := experiments.Table7(fc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Table 7: quantile accuracy & training time ==\n%s", experiments.FormatTable7(rows))
+	case "table8":
+		rows, err := experiments.Table8(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Table 8: GDE ablation ==\n%s", experiments.FormatAblation(rows))
+	case "table9":
+		rows, err := experiments.Table9(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Table 9: SQA ablation ==\n%s", experiments.FormatAblation(rows))
+	case "table10":
+		rows, err := experiments.Table10(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Table 10: PTS ablation ==\n%s", experiments.FormatAblation(rows))
+	case "fig2":
+		d := experiments.Figure2(scale)
+		fmt.Println("== Figure 2: request-size CDFs ==")
+		fmt.Printf("pod-level full-card fraction: 2024 %.1f%%, 2020 %.1f%%\n",
+			100*experiments.FullCardFraction(d.Pod2024),
+			100*experiments.FullCardFraction(d.Pod2020))
+		fmt.Println("2024 pod CDF:")
+		printCDF(d.Pod2024)
+		fmt.Println("2020 pod CDF:")
+		printCDF(d.Pod2020)
+	case "fig3":
+		fmt.Println("== Figure 3: run/queue time by request size ==")
+		fmt.Printf("%6s %12s %10s %14s %12s %7s\n", "GPUs", "MedianRun(h)", "P90Run(h)", "MedianQueue(h)", "MeanQueue(h)", "Tasks")
+		for _, r := range experiments.Figure3(scale) {
+			fmt.Printf("%6.1f %12.2f %10.2f %14.3f %12.3f %7d\n",
+				r.GPUs, r.MedianRunH, r.P90RunH, r.MedianQueueH, r.MeanQueueH, r.Count)
+		}
+	case "fig4":
+		fmt.Println("== Figure 4: per-organization GPU demand (168 h) ==")
+		panel := experiments.Figure4(scale.Seed)
+		for _, name := range []string{"OrgA", "OrgB", "OrgC", "OrgD"} {
+			s := panel[name]
+			fmt.Printf("%s: min %.1f max %.1f mean %.1f\n",
+				name, stats.Min(s), stats.Max(s), stats.Mean(s))
+		}
+	case "fig5":
+		fmt.Println("== Figure 5: eviction rate over 4 weeks (static quota) ==")
+		d := experiments.Figure5(scale, 4)
+		for i, w := range d.Weeks {
+			fmt.Printf("Week %d: max %.4f mid %.4f min %.4f\n", i+1, w.Max, w.Mid, w.Min)
+		}
+	case "fig8":
+		fmt.Println("== Figure 8: allocation heatmaps of three A100 clusters ==")
+		for _, c := range experiments.Figure8(scale) {
+			fmt.Printf("Cluster %s: %d nodes, mean allocation %.2f%%\n",
+				c.Name, len(c.Alloc), 100*c.MeanRate)
+		}
+	case "fig9":
+		rows, err := experiments.Figure9(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Figure 9: production deployment (pre/post) ==\n%s", experiments.FormatFigure9(rows))
+	case "fig10":
+		rows, err := experiments.Figure10(fc)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Figure 10: forecasting accuracy ==\n%s", experiments.FormatFigure10(rows))
+	case "benefit":
+		total, report := experiments.MonthlyBenefit(nil)
+		fmt.Printf("== Monthly benefit (paper deployment deltas) ==\n%s", report)
+		_ = total
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}
+
+func printCDF(cdf []stats.CDFPoint) {
+	for _, p := range cdf {
+		if p.X == 0.5 || p.X == 1 || p.X == 2 || p.X == 4 || p.X == 8 {
+			fmt.Printf("  P(g ≤ %4.1f) = %.3f\n", p.X, p.P)
+		}
+	}
+}

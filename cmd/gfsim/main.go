@@ -1,0 +1,98 @@
+// Command gfsim runs one scheduling simulation and prints its
+// metrics.
+//
+// Usage:
+//
+//	gfsim -scheduler gfs -nodes 64 -days 2 -spotscale 2
+//	gfsim -scheduler yarn -nodes 287 -days 3
+//
+// Schedulers: gfs, gfs-e, gfs-d, gfs-s, gfs-p, gfs-sp, yarn, chronus,
+// lyra, fgd, firstfit.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/sjtucitlab/gfs/internal/baselines"
+	"github.com/sjtucitlab/gfs/internal/experiments"
+	"github.com/sjtucitlab/gfs/internal/gde"
+	"github.com/sjtucitlab/gfs/internal/sched"
+)
+
+func main() {
+	scheduler := flag.String("scheduler", "gfs", "scheduler to run")
+	nodes := flag.Int("nodes", 16, "8-GPU nodes in the cluster")
+	days := flag.Int("days", 1, "trace span in days")
+	spotScale := flag.Float64("spotscale", 1, "spot submission multiplier (1/2/4)")
+	seed := flag.Int64("seed", 17, "trace seed")
+	guarantee := flag.Int("h", 1, "spot guarantee hours (GFS variants)")
+	flag.Parse()
+
+	scale := experiments.SmallScale()
+	scale.Nodes = *nodes
+	scale.Days = *days
+	scale.Seed = *seed
+
+	tasks := scale.Trace(*spotScale)
+	fmt.Printf("cluster: %d nodes × 8 GPUs; trace: %d tasks over %d day(s)\n",
+		*nodes, len(tasks), *days)
+
+	var res *sched.Result
+	switch *scheduler {
+	case "gfs", "gfs-e", "gfs-d", "gfs-s", "gfs-p", "gfs-sp":
+		variant := map[string]experiments.GFSVariant{
+			"gfs":    experiments.GFSFull,
+			"gfs-e":  experiments.GFSNaiveForecast,
+			"gfs-d":  experiments.GFSStaticEta,
+			"gfs-s":  experiments.GFSSimpleScore,
+			"gfs-p":  experiments.GFSRandomPreempt,
+			"gfs-sp": experiments.GFSSimpleBoth,
+		}[*scheduler]
+		est, err := trainFor(scale, variant)
+		if err != nil {
+			fail(err)
+		}
+		sys := scale.NewGFS(est, variant, *guarantee)
+		res = scale.RunGFS(sys, tasks)
+		fmt.Printf("final η: %.3f\n", sys.Quota.Allocator().Eta())
+	case "yarn":
+		res = scale.RunBaseline(baselines.NewYARNCS(), nil, tasks)
+	case "chronus":
+		res = scale.RunBaseline(baselines.NewChronus(), nil, tasks)
+	case "lyra":
+		res = scale.RunBaseline(baselines.NewLyra(), nil, tasks)
+	case "fgd":
+		res = scale.RunBaseline(baselines.NewFGD(), nil, tasks)
+	case "firstfit":
+		res = scale.RunBaseline(baselines.NewStaticFirstFit(),
+			sched.StaticQuota{Fraction: 0.25}, tasks)
+	default:
+		fail(fmt.Errorf("unknown scheduler %q", *scheduler))
+	}
+	printResult(res)
+}
+
+func trainFor(scale experiments.SimScale, variant experiments.GFSVariant) (*gde.Estimator, error) {
+	if variant == experiments.GFSNaiveForecast {
+		return scale.NaiveEstimator()
+	}
+	return scale.TrainEstimator()
+}
+
+func printResult(res *sched.Result) {
+	fmt.Printf("scheduler: %s\n", res.SchedulerName)
+	fmt.Printf("HP   tasks: %5d  JCT %9.1fs  p99 %9.1fs  JQT %7.1fs  unfinished %d\n",
+		res.HP.Count, res.HP.JCT, res.HP.JCTP99, res.HP.JQT, res.UnfinishedHP)
+	fmt.Printf("Spot tasks: %5d  JCT %9.1fs  JQT %7.1fs  evictions %d (e = %.2f%%)  unfinished %d\n",
+		res.Spot.Count, res.Spot.JCT, res.Spot.JQT,
+		res.Spot.Evictions, 100*res.Spot.EvictionRate, res.UnfinishedSpot)
+	fmt.Printf("allocation rate: %.2f%%   wasted GPU-hours: %.1f\n",
+		100*res.AllocationRate, res.WastedGPUSeconds/3600)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "gfsim: %v\n", err)
+	os.Exit(1)
+}

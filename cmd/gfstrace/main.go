@@ -1,0 +1,82 @@
+// Command gfstrace generates synthetic workload traces matching the
+// paper's production statistics (Table 3) and prints or saves them.
+//
+// Usage:
+//
+//	gfstrace -days 3 -gpus 2296 -out trace.csv
+//	gfstrace -days 1 -stats
+//	gfstrace -regime 2020 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/sjtucitlab/gfs/internal/trace"
+)
+
+func main() {
+	days := flag.Int("days", 3, "trace span in days")
+	gpus := flag.Float64("gpus", 2296, "cluster GPU capacity for load calibration")
+	spotScale := flag.Float64("spotscale", 1, "spot submission multiplier")
+	seed := flag.Int64("seed", 1, "generation seed")
+	regime := flag.String("regime", "2024", "workload regime: 2024 | 2020")
+	out := flag.String("out", "", "write CSV to this path (default: stdout stats only)")
+	showStats := flag.Bool("stats", false, "print trace statistics")
+	flag.Parse()
+
+	cfg := trace.Default()
+	cfg.Days = *days
+	cfg.ClusterGPUs = *gpus
+	cfg.SpotScale = *spotScale
+	cfg.Seed = *seed
+	if *regime == "2020" {
+		cfg.Regime = trace.Regime2020
+	}
+	tasks := trace.Generate(cfg)
+	fmt.Printf("generated %d tasks over %d day(s)\n", len(tasks), *days)
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f, tasks); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	if *showStats || *out == "" {
+		printStats(trace.Summarize(tasks))
+	}
+}
+
+func printStats(s trace.Stats) {
+	fmt.Printf("HP tasks:   %6d (%.2f%%)  gang %.2f%%\n",
+		s.HPCount, 100*s.HPFrac, 100*s.GangFracHP)
+	fmt.Printf("Spot tasks: %6d (%.2f%%)  gang %.2f%%\n",
+		s.SpotCount, 100*(1-s.HPFrac), 100*s.GangFracSpot)
+	fmt.Println("GPU request distribution (fraction of tasks):")
+	fmt.Printf("%6s %10s %10s\n", "g", "HP", "Spot")
+	keys := make([]string, 0, len(s.SizeHistHP))
+	for k := range s.SizeHistHP {
+		keys = append(keys, k)
+	}
+	for k := range s.SizeHistSpot {
+		if _, ok := s.SizeHistHP[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%6s %9.2f%% %9.2f%%\n", k, 100*s.SizeHistHP[k], 100*s.SizeHistSpot[k])
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "gfstrace: %v\n", err)
+	os.Exit(1)
+}

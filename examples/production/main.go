@@ -1,0 +1,75 @@
+// Production deployment comparison (Figure 9): the same workload
+// scheduled by the pre-GFS configuration (static spot quota +
+// first-fit) and by GFS, on three GPU pools. Post-deployment, spot
+// eviction rates drop and allocation rates rise.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	gfs "github.com/sjtucitlab/gfs"
+)
+
+// pool describes one production GPU pool (scaled down from Table 1).
+type pool struct {
+	model       string
+	nodes, gpus int
+	hpLoad      float64
+}
+
+func main() {
+	pools := []pool{
+		{"A10", 32, 1, 0.72},
+		{"A100", 16, 8, 0.60},
+		{"A800", 4, 8, 0.56},
+	}
+
+	fmt.Printf("%-6s %12s %12s %12s %12s\n",
+		"Model", "Evict pre", "Evict post", "Alloc pre", "Alloc post")
+	for i, p := range pools {
+		pre := runPre(p, int64(i))
+		post := runPost(p, int64(i))
+		fmt.Printf("%-6s %11.2f%% %11.2f%% %11.2f%% %11.2f%%\n",
+			p.model,
+			100*pre.Spot.EvictionRate, 100*post.Spot.EvictionRate,
+			100*pre.AllocationRate, 100*post.AllocationRate)
+	}
+}
+
+func traceFor(p pool, seed int64) []*gfs.Task {
+	cfg := gfs.DefaultTraceConfig()
+	cfg.Seed = 100 + seed
+	cfg.Days = 1
+	cfg.ClusterGPUs = float64(p.nodes * p.gpus)
+	cfg.HPLoad = p.hpLoad
+	cfg.SpotLoad = 0.25
+	cfg.SpotScale = 2
+	cfg.GPUModel = p.model
+	cfg.MaxDuration = 6 * gfs.Hour
+	cfg.MaxPodGPUs = float64(p.gpus) // 1-GPU A10 nodes host only small pods
+	return gfs.GenerateTrace(cfg)
+}
+
+// runPre models the legacy configuration: first-fit placement with a
+// fixed spot quota (generous but static, as in Fig. 1).
+func runPre(p pool, seed int64) *gfs.Result {
+	cl := gfs.NewCluster(p.model, p.nodes, p.gpus)
+	return gfs.SimulateScheduler(cl, gfs.NewStaticFirstFit(), gfs.StaticQuota(0.45), traceFor(p, seed))
+}
+
+// runPost deploys GFS on the same pool and workload.
+func runPost(p pool, seed int64) *gfs.Result {
+	capacity := float64(p.nodes * p.gpus)
+	panel := gfs.SyntheticDemandPanel(24*14, p.hpLoad*capacity, seed+7)
+	est, err := gfs.TrainEstimator(gfs.EstimatorConfig{
+		History: 48, Horizon: 4, Model: gfs.NewOrgLinearFast(8),
+	}, panel, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := gfs.DefaultOptions()
+	opts.Estimator = est
+	cl := gfs.NewCluster(p.model, p.nodes, p.gpus)
+	return gfs.Simulate(cl, gfs.NewSystem(opts), traceFor(p, seed))
+}

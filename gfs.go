@@ -1,0 +1,256 @@
+// Package gfs is the public API of the GFS reproduction: a
+// preemption-aware GPU cluster scheduling framework with predictive
+// spot instance management (Duan et al., ASPLOS '26).
+//
+// The package composes three modules mirroring the paper's design
+// (Fig. 6):
+//
+//   - the GPU Demand Estimator (GDE), a probabilistic per-organization
+//     demand forecaster built on the OrgLinear model;
+//   - the Spot Quota Allocator (SQA), which converts demand forecasts
+//     into a time-varying spot GPU quota with an eviction-aware
+//     feedback loop;
+//   - the Preemptive Task Scheduler (PTS), which places pods with
+//     packing, co-location and eviction-awareness scores and preempts
+//     spot tasks at minimal cost when HP tasks need GPUs.
+//
+// A minimal session:
+//
+//	cluster := gfs.NewCluster("A100", 16, 8)
+//	tasks := gfs.GenerateTrace(gfs.DefaultTraceConfig())
+//	est, _ := gfs.TrainEstimator(gfs.DefaultEstimatorConfig(), panel, 0)
+//	system := gfs.NewSystem(gfs.Options{Estimator: est})
+//	result := gfs.Simulate(cluster, system, tasks)
+//	fmt.Println(result.Spot.EvictionRate)
+package gfs
+
+import (
+	"github.com/sjtucitlab/gfs/internal/baselines"
+	"github.com/sjtucitlab/gfs/internal/cluster"
+	"github.com/sjtucitlab/gfs/internal/core"
+	"github.com/sjtucitlab/gfs/internal/forecast"
+	"github.com/sjtucitlab/gfs/internal/gde"
+	"github.com/sjtucitlab/gfs/internal/org"
+	"github.com/sjtucitlab/gfs/internal/pts"
+	"github.com/sjtucitlab/gfs/internal/sched"
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/sqa"
+	"github.com/sjtucitlab/gfs/internal/task"
+	"github.com/sjtucitlab/gfs/internal/timefeat"
+	"github.com/sjtucitlab/gfs/internal/trace"
+)
+
+// Core simulation types, re-exported for external use.
+type (
+	// Task is a schedulable unit of work: w pods of g GPUs each.
+	Task = task.Task
+	// TaskType distinguishes HP from spot tasks.
+	TaskType = task.Type
+	// Cluster is a set of GPU nodes.
+	Cluster = cluster.Cluster
+	// Node is one machine with a fixed GPU count.
+	Node = cluster.Node
+	// Scheduler places tasks onto the cluster.
+	Scheduler = sched.Scheduler
+	// QuotaPolicy computes the spot quota at each update tick.
+	QuotaPolicy = sched.QuotaPolicy
+	// SimConfig configures a simulation run.
+	SimConfig = sched.SimConfig
+	// Result summarizes a simulation.
+	Result = sched.Result
+	// System bundles the GFS scheduler and quota policy.
+	System = core.System
+	// Options configures a GFS instance.
+	Options = core.Options
+	// Estimator serves per-organization demand distributions.
+	Estimator = gde.Estimator
+	// EstimatorConfig sizes the estimator.
+	EstimatorConfig = gde.Config
+	// TraceConfig parameterizes workload generation.
+	TraceConfig = trace.Config
+	// Time is simulated time in seconds since the epoch.
+	Time = simclock.Time
+	// Duration is a span of simulated time in seconds.
+	Duration = simclock.Duration
+	// PTSConfig holds the Preemptive Task Scheduler parameters.
+	PTSConfig = pts.Config
+	// SQAConfig holds the Spot Quota Allocator parameters.
+	SQAConfig = sqa.Config
+	// Forecaster is a point-forecast demand model.
+	Forecaster = forecast.Forecaster
+	// Distributional is a forecaster with Gaussian uncertainty.
+	Distributional = forecast.Distributional
+)
+
+// Task types.
+const (
+	// Spot tasks are preemptible (ζ = 0).
+	Spot = task.Spot
+	// HP tasks are non-preemptible (ζ = 1).
+	HP = task.HP
+)
+
+// Simulated time units.
+const (
+	Second = simclock.Second
+	Minute = simclock.Minute
+	Hour   = simclock.Hour
+	Day    = simclock.Day
+)
+
+// NewCluster builds a homogeneous cluster of nodes×gpusPerNode GPUs
+// of one model, matching the paper's 287×8 A100 simulation pool.
+func NewCluster(model string, nodes, gpusPerNode int) *Cluster {
+	return cluster.NewHomogeneous(model, nodes, gpusPerNode)
+}
+
+// Pool describes one slice of a heterogeneous cluster.
+type Pool = cluster.Pool
+
+// NewHeterogeneousCluster builds a multi-model cluster (Table 1).
+func NewHeterogeneousCluster(pools []Pool) *Cluster {
+	return cluster.NewHeterogeneous(pools)
+}
+
+// NewTask creates a pending task.
+func NewTask(id int, typ TaskType, pods int, gpusPerPod float64, duration Duration) *Task {
+	return task.New(id, typ, pods, gpusPerPod, duration)
+}
+
+// DefaultTraceConfig returns the paper-scale workload settings.
+func DefaultTraceConfig() TraceConfig { return trace.Default() }
+
+// GenerateTrace synthesizes a workload matching the paper's trace
+// statistics (Table 3).
+func GenerateTrace(cfg TraceConfig) []*Task { return trace.Generate(cfg) }
+
+// DefaultEstimatorConfig sizes the GDE as in the experiments: a week
+// of hourly history predicting the next 4 hours.
+func DefaultEstimatorConfig() EstimatorConfig { return gde.DefaultConfig() }
+
+// NewEstimator creates an untrained demand estimator.
+func NewEstimator(cfg EstimatorConfig) *Estimator { return gde.New(cfg) }
+
+// TrainEstimator creates and trains a demand estimator on an aligned
+// panel of per-organization hourly demand series starting at
+// startHour.
+func TrainEstimator(cfg EstimatorConfig, panel map[string][]float64, startHour int) (*Estimator, error) {
+	est := gde.New(cfg)
+	if err := est.Train(panel, startHour); err != nil {
+		return nil, err
+	}
+	return est, nil
+}
+
+// DefaultOptions returns Table 4's GFS settings (estimator must be
+// supplied by the caller for proactive quota management).
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// NewSystem assembles a GFS system (PTS scheduler + GDE/SQA quota).
+func NewSystem(opts Options) *System { return core.New(opts) }
+
+// Simulate runs the discrete-event simulation of a GFS system over a
+// trace and returns its metrics.
+func Simulate(cl *Cluster, sys *System, tasks []*Task) *Result {
+	cfg := sched.DefaultSimConfig(cl, sys.Scheduler)
+	cfg.Quota = sys.Quota
+	return sched.Run(cfg, tasks)
+}
+
+// SimulateScheduler runs any scheduler (e.g. a baseline) with an
+// optional quota policy (nil = unlimited).
+func SimulateScheduler(cl *Cluster, s Scheduler, quota QuotaPolicy, tasks []*Task) *Result {
+	cfg := sched.DefaultSimConfig(cl, s)
+	cfg.Quota = quota
+	return sched.Run(cfg, tasks)
+}
+
+// SimulateConfig runs a fully custom simulation configuration.
+func SimulateConfig(cfg SimConfig, tasks []*Task) *Result { return sched.Run(cfg, tasks) }
+
+// DefaultSimConfig fills in the paper's simulation settings.
+func DefaultSimConfig(cl *Cluster, s Scheduler) SimConfig {
+	return sched.DefaultSimConfig(cl, s)
+}
+
+// SyntheticDemandPanel generates aligned hourly HP-demand series for
+// the paper's four reference organizations (Fig. 4 presets), scaled
+// so their combined base demand is totalGPUs. Use it to train an
+// Estimator when no production demand history is available.
+func SyntheticDemandPanel(hours int, totalGPUs float64, seed int64) map[string][]float64 {
+	cal := timefeat.NewCalendar()
+	presets := org.Presets()
+	panel := org.Panel(presets, cal, 0, hours, seed)
+	base := 0.0
+	for _, cfg := range presets {
+		base += cfg.Base
+	}
+	factor := totalGPUs / base
+	for name := range panel {
+		for i := range panel[name] {
+			panel[name][i] *= factor
+		}
+	}
+	return panel
+}
+
+// Baseline schedulers from the paper's comparison (§4.1).
+func NewYARNCS() Scheduler         { return baselines.NewYARNCS() }
+func NewChronus() Scheduler        { return baselines.NewChronus() }
+func NewLyra() Scheduler           { return baselines.NewLyra() }
+func NewFGD() Scheduler            { return baselines.NewFGD() }
+func NewStaticFirstFit() Scheduler { return baselines.NewStaticFirstFit() }
+
+// StaticQuota reserves a fixed fraction of capacity for spot tasks
+// (the pre-GFS production policy).
+func StaticQuota(fraction float64) QuotaPolicy {
+	return sched.StaticQuota{Fraction: fraction}
+}
+
+// UnlimitedQuota imposes no spot quota.
+func UnlimitedQuota() QuotaPolicy { return sched.UnlimitedQuota{} }
+
+// Forecasting model constructors (Fig. 10 lineup).
+func NewOrgLinear() Distributional {
+	return forecast.NewOrgLinear(forecast.DefaultOrgLinearConfig())
+}
+
+// NewOrgLinearFast builds an OrgLinear with a reduced epoch budget,
+// useful for interactive experimentation and tests.
+func NewOrgLinearFast(epochs int) Distributional {
+	cfg := forecast.DefaultOrgLinearConfig()
+	cfg.Epochs = epochs
+	return forecast.NewOrgLinear(cfg)
+}
+
+// NewDeepAR builds the probabilistic RNN baseline.
+func NewDeepAR() Distributional {
+	return forecast.NewDeepAR(forecast.DefaultDeepARConfig())
+}
+
+// NewDLinear builds the linear decomposition baseline.
+func NewDLinear() Forecaster {
+	return forecast.NewDLinear(forecast.DefaultDLinearConfig())
+}
+
+// NewTransformer builds the vanilla attention baseline.
+func NewTransformer() Forecaster {
+	return forecast.NewTransformer(forecast.DefaultTransformerConfig())
+}
+
+// NewInformer builds the prob-sparse attention baseline.
+func NewInformer() Forecaster {
+	cfg := forecast.DefaultTransformerConfig()
+	cfg.Variant = forecast.ProbSparseAttention
+	return forecast.NewTransformer(cfg)
+}
+
+// NewAutoformer builds the auto-correlation baseline.
+func NewAutoformer() Forecaster {
+	return forecast.NewAutoformer(forecast.DefaultAutoformerConfig())
+}
+
+// NewFEDformer builds the frequency-enhanced baseline.
+func NewFEDformer() Forecaster {
+	return forecast.NewFEDformer(forecast.DefaultFEDformerConfig())
+}

@@ -1,0 +1,78 @@
+package baselines
+
+import (
+	"sort"
+
+	"github.com/sjtucitlab/gfs/internal/cluster"
+	"github.com/sjtucitlab/gfs/internal/sched"
+	"github.com/sjtucitlab/gfs/internal/task"
+)
+
+// FGD models Fragmentation Gradient Descent (Weng et al., ATC '23)
+// adapted from in-card to in-node granularity as the paper describes:
+// each pod goes to the node whose fragmentation measure grows least.
+// FGD has no notion of workload class, so HP and spot mix freely and
+// HP demand surges evict whatever is in the way.
+type FGD struct{}
+
+// NewFGD creates the scheduler.
+func NewFGD() *FGD { return &FGD{} }
+
+// Name implements sched.Scheduler.
+func (*FGD) Name() string { return "FGD" }
+
+// Less implements sched.Scheduler.
+func (*FGD) Less(a, b *task.Task) bool { return fcfsLess(a, b) }
+
+// Schedule implements sched.Scheduler.
+func (*FGD) Schedule(ctx *sched.Context, tk *task.Task) (*sched.Decision, error) {
+	dec, err := placeBy(ctx, tk, func(n *cluster.Node) float64 {
+		return fragDelta(n, tk)
+	})
+	if err == nil {
+		return dec, nil
+	}
+	if tk.Type != task.HP {
+		return nil, ErrUnschedulable
+	}
+	// Fragmentation-blind preemption: take the node with the most
+	// spot capacity, evicting in ID order.
+	return preemptBy(ctx, tk,
+		func(n *cluster.Node, need int) []*task.Task {
+			order := n.SpotTasks()
+			sort.Slice(order, func(i, j int) bool { return order[i].ID < order[j].ID })
+			return minimalVictims(n, need, order)
+		},
+		func(n *cluster.Node, victims []*task.Task) float64 {
+			return -n.SpotGPUs()
+		},
+	)
+}
+
+// fragDelta estimates the fragmentation increase if one pod of tk
+// landed on n.
+func fragDelta(n *cluster.Node, tk *task.Task) float64 {
+	before := n.Fragmentation()
+	idleAfter := n.WholeFreeGPUs() - podNeed(tk)
+	if idleAfter < 0 {
+		idleAfter = 0
+	}
+	after := fragOf(idleAfter)
+	return after - before
+}
+
+// fragOf mirrors cluster.Node.Fragmentation for a hypothetical idle
+// count.
+func fragOf(idle int) float64 {
+	if idle <= 0 || idle >= 8 {
+		return 0
+	}
+	best := 1
+	for _, s := range []int{8, 4, 2, 1} {
+		if s <= idle {
+			best = s
+			break
+		}
+	}
+	return float64(idle - best)
+}

@@ -1,0 +1,46 @@
+package baselines
+
+import (
+	"github.com/sjtucitlab/gfs/internal/cluster"
+	"github.com/sjtucitlab/gfs/internal/sched"
+	"github.com/sjtucitlab/gfs/internal/task"
+)
+
+// StaticFirstFit models the pre-GFS production scheduler the paper's
+// observations criticize (Obs. 2–3, Fig. 1): first-fit placement in
+// node-ID order with no workload-type awareness. Pair it with
+// sched.StaticQuota to reproduce the static spot quota regime.
+type StaticFirstFit struct{}
+
+// NewStaticFirstFit creates the scheduler.
+func NewStaticFirstFit() *StaticFirstFit { return &StaticFirstFit{} }
+
+// Name implements sched.Scheduler.
+func (*StaticFirstFit) Name() string { return "StaticFirstFit" }
+
+// Less implements sched.Scheduler.
+func (*StaticFirstFit) Less(a, b *task.Task) bool { return fcfsLess(a, b) }
+
+// Schedule implements sched.Scheduler.
+func (*StaticFirstFit) Schedule(ctx *sched.Context, tk *task.Task) (*sched.Decision, error) {
+	// First fit: lowest node ID that fits.
+	dec, err := placeBy(ctx, tk, func(n *cluster.Node) float64 {
+		return float64(n.ID)
+	})
+	if err == nil {
+		return dec, nil
+	}
+	if tk.Type != task.HP {
+		return nil, ErrUnschedulable
+	}
+	// Preempt on the first node (by ID) with enough evictable spot
+	// capacity; victims in ID order, oblivious to waste.
+	return preemptBy(ctx, tk,
+		func(n *cluster.Node, need int) []*task.Task {
+			return minimalVictims(n, need, n.SpotTasks())
+		},
+		func(n *cluster.Node, victims []*task.Task) float64 {
+			return float64(n.ID)
+		},
+	)
+}

@@ -1,0 +1,147 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Cluster is a set of nodes, indexed by GPU model for heterogeneous
+// pools.
+type Cluster struct {
+	nodes   []*Node
+	byModel map[string][]*Node
+}
+
+// New builds an empty cluster.
+func New() *Cluster {
+	return &Cluster{byModel: make(map[string][]*Node)}
+}
+
+// NewHomogeneous builds a cluster of n nodes with gpusPerNode GPUs of
+// a single model, matching the paper's simulation setup (287 8-card
+// A100 nodes).
+func NewHomogeneous(model string, n, gpusPerNode int) *Cluster {
+	c := New()
+	for i := 0; i < n; i++ {
+		c.AddNode(NewNode(i, model, gpusPerNode))
+	}
+	return c
+}
+
+// Pool describes one homogeneous slice of a heterogeneous cluster.
+type Pool struct {
+	Model       string
+	Nodes       int
+	GPUsPerNode int
+}
+
+// NewHeterogeneous builds a multi-model cluster from pools, numbering
+// nodes sequentially.
+func NewHeterogeneous(pools []Pool) *Cluster {
+	c := New()
+	id := 0
+	for _, p := range pools {
+		for i := 0; i < p.Nodes; i++ {
+			c.AddNode(NewNode(id, p.Model, p.GPUsPerNode))
+			id++
+		}
+	}
+	return c
+}
+
+// AddNode registers a node.
+func (c *Cluster) AddNode(n *Node) {
+	c.nodes = append(c.nodes, n)
+	c.byModel[n.Model] = append(c.byModel[n.Model], n)
+}
+
+// Nodes returns all nodes in ID order.
+func (c *Cluster) Nodes() []*Node { return c.nodes }
+
+// NodesOfModel returns nodes of the given model, or all nodes when
+// model is empty.
+func (c *Cluster) NodesOfModel(model string) []*Node {
+	if model == "" {
+		return c.nodes
+	}
+	return c.byModel[model]
+}
+
+// Models lists the distinct GPU models, sorted.
+func (c *Cluster) Models() []string {
+	out := make([]string, 0, len(c.byModel))
+	for m := range c.byModel {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TotalGPUs returns the cluster capacity C, optionally restricted to
+// one model.
+func (c *Cluster) TotalGPUs(model string) float64 {
+	total := 0.0
+	for _, n := range c.NodesOfModel(model) {
+		total += float64(n.Capacity())
+	}
+	return total
+}
+
+// UsedGPUs returns currently allocated capacity, optionally
+// restricted to one model.
+func (c *Cluster) UsedGPUs(model string) float64 {
+	u := 0.0
+	for _, n := range c.NodesOfModel(model) {
+		u += n.UsedGPUs()
+	}
+	return u
+}
+
+// IdleGPUs returns S0: idle capacity, optionally restricted to one
+// model.
+func (c *Cluster) IdleGPUs(model string) float64 {
+	return c.TotalGPUs(model) - c.UsedGPUs(model)
+}
+
+// SpotGPUs returns capacity held by spot tasks.
+func (c *Cluster) SpotGPUs(model string) float64 {
+	u := 0.0
+	for _, n := range c.NodesOfModel(model) {
+		u += n.SpotGPUs()
+	}
+	return u
+}
+
+// HPGPUs returns capacity held by HP tasks.
+func (c *Cluster) HPGPUs(model string) float64 {
+	u := 0.0
+	for _, n := range c.NodesOfModel(model) {
+		u += n.HPGPUs()
+	}
+	return u
+}
+
+// AllocationRate is used/total in [0,1], the paper's headline
+// efficiency metric.
+func (c *Cluster) AllocationRate(model string) float64 {
+	total := c.TotalGPUs(model)
+	if total == 0 {
+		return 0
+	}
+	return c.UsedGPUs(model) / total
+}
+
+// Fragmentation sums the per-node fragmentation measure.
+func (c *Cluster) Fragmentation() float64 {
+	f := 0.0
+	for _, n := range c.nodes {
+		f += n.Fragmentation()
+	}
+	return f
+}
+
+// String implements fmt.Stringer.
+func (c *Cluster) String() string {
+	return fmt.Sprintf("cluster (%d nodes, %.0f GPUs, %.1f%% allocated)",
+		len(c.nodes), c.TotalGPUs(""), 100*c.AllocationRate(""))
+}

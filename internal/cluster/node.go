@@ -1,0 +1,355 @@
+// Package cluster models the GPU cluster substrate: nodes with whole
+// and fractional GPU allocations, per-type occupancy (HP vs spot),
+// per-node eviction history (used by the eviction-awareness score and
+// circuit breaker), and fragmentation measures (used by the FGD
+// baseline).
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/task"
+)
+
+// ErrInsufficient is returned when a node cannot satisfy an
+// allocation request.
+var ErrInsufficient = errors.New("cluster: insufficient GPU capacity")
+
+// gpu is the state of a single card.
+type gpu struct {
+	// used is the allocated fraction in [0,1].
+	used float64
+	// shares maps taskID → fraction for fractional tenants; whole
+	// cards have exactly one share of 1.0.
+	shares map[int]float64
+	// spot reports whether the current tenants are spot tasks.
+	// HP and spot never share one card.
+	spot bool
+}
+
+// Node is one machine with a fixed number of identical GPUs.
+type Node struct {
+	ID    int
+	Model string
+
+	gpus []gpu
+
+	// Aggregates, maintained incrementally.
+	hpUsed   float64
+	spotUsed float64
+
+	// evictions records the times of past spot evictions on this
+	// node, oldest first, for the windowed rate of Eq. (15).
+	evictions []simclock.Time
+
+	// podsByTask tracks how many pods of each task run here and
+	// the per-pod GPU request, so victims can be released.
+	podsByTask map[int]*podAlloc
+}
+
+type podAlloc struct {
+	task *task.Task
+	pods int
+}
+
+// NewNode creates a node with capacity GPUs of the given model.
+func NewNode(id int, model string, capacity int) *Node {
+	n := &Node{ID: id, Model: model, gpus: make([]gpu, capacity), podsByTask: make(map[int]*podAlloc)}
+	return n
+}
+
+// Capacity returns the number of physical GPUs.
+func (n *Node) Capacity() int { return len(n.gpus) }
+
+// IdleGPUs returns the total unallocated GPU capacity, counting
+// fractional remainders.
+func (n *Node) IdleGPUs() float64 {
+	return float64(len(n.gpus)) - n.hpUsed - n.spotUsed
+}
+
+// WholeFreeGPUs counts completely idle cards, the unit that whole-card
+// requests (g ≥ 1) consume.
+func (n *Node) WholeFreeGPUs() int {
+	c := 0
+	for i := range n.gpus {
+		if n.gpus[i].used == 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// WholeFreeGPUsExcluding counts the cards that would be completely
+// free if the given task IDs were evicted: currently idle cards plus
+// cards whose entire usage belongs to the victim set. Preemptive
+// scheduling uses it to test placement feasibility before committing
+// to evictions.
+func (n *Node) WholeFreeGPUsExcluding(victims map[int]bool) int {
+	c := 0
+	for i := range n.gpus {
+		g := &n.gpus[i]
+		if g.used == 0 {
+			c++
+			continue
+		}
+		if len(g.shares) == 0 {
+			continue
+		}
+		all := true
+		for id := range g.shares {
+			if !victims[id] {
+				all = false
+				break
+			}
+		}
+		if all {
+			c++
+		}
+	}
+	return c
+}
+
+// HPGPUs returns GPU capacity currently held by HP tasks.
+func (n *Node) HPGPUs() float64 { return n.hpUsed }
+
+// SpotGPUs returns GPU capacity currently held by spot tasks.
+func (n *Node) SpotGPUs() float64 { return n.spotUsed }
+
+// UsedGPUs returns total allocated capacity.
+func (n *Node) UsedGPUs() float64 { return n.hpUsed + n.spotUsed }
+
+// CanFitPod reports whether one pod of tk could be placed without
+// preemption.
+func (n *Node) CanFitPod(tk *task.Task) bool {
+	if tk.GPUModel != "" && tk.GPUModel != n.Model {
+		return false
+	}
+	g := tk.GPUsPerPod
+	if g < 1 {
+		// A fractional pod fits on a fully idle card or shares a
+		// card already fractionally used by the same class.
+		for i := range n.gpus {
+			if n.gpus[i].used == 0 {
+				return true
+			}
+			if n.gpus[i].used+g <= 1+1e-9 && n.gpus[i].spot == (tk.Type == task.Spot) && n.gpus[i].used < 1 {
+				return true
+			}
+		}
+		return false
+	}
+	return n.WholeFreeGPUs() >= int(g)
+}
+
+// PlacePod allocates the GPUs for one pod of tk. It returns
+// ErrInsufficient when the pod does not fit.
+func (n *Node) PlacePod(tk *task.Task) error {
+	if tk.GPUModel != "" && tk.GPUModel != n.Model {
+		return fmt.Errorf("%w: model %s != %s", ErrInsufficient, n.Model, tk.GPUModel)
+	}
+	isSpot := tk.Type == task.Spot
+	g := tk.GPUsPerPod
+	if g < 1 {
+		idx := -1
+		bestUsed := -1.0
+		for i := range n.gpus {
+			u := n.gpus[i].used
+			if u == 0 || (u+g <= 1+1e-9 && n.gpus[i].spot == isSpot) {
+				// Prefer the most-used card that still fits
+				// (bin-packs fractions together).
+				if u > bestUsed {
+					bestUsed = u
+					idx = i
+				}
+			}
+		}
+		if idx < 0 {
+			return ErrInsufficient
+		}
+		n.addShare(idx, tk.ID, g, isSpot)
+	} else {
+		need := int(g)
+		if n.WholeFreeGPUs() < need {
+			return ErrInsufficient
+		}
+		placed := 0
+		for i := range n.gpus {
+			if placed == need {
+				break
+			}
+			if n.gpus[i].used == 0 {
+				n.addShare(i, tk.ID, 1, isSpot)
+				placed++
+			}
+		}
+	}
+	pa := n.podsByTask[tk.ID]
+	if pa == nil {
+		pa = &podAlloc{task: tk}
+		n.podsByTask[tk.ID] = pa
+	}
+	pa.pods++
+	if isSpot {
+		n.spotUsed += g
+	} else {
+		n.hpUsed += g
+	}
+	return nil
+}
+
+func (n *Node) addShare(i, taskID int, frac float64, spot bool) {
+	if n.gpus[i].shares == nil {
+		n.gpus[i].shares = make(map[int]float64)
+	}
+	n.gpus[i].shares[taskID] += frac
+	n.gpus[i].used += frac
+	if n.gpus[i].used > 1 {
+		n.gpus[i].used = 1
+	}
+	n.gpus[i].spot = spot
+}
+
+// ReleaseTask frees all pods of the given task on this node. It
+// reports whether the task held any GPUs here.
+func (n *Node) ReleaseTask(tk *task.Task) bool {
+	pa := n.podsByTask[tk.ID]
+	if pa == nil {
+		return false
+	}
+	for i := range n.gpus {
+		if frac, ok := n.gpus[i].shares[tk.ID]; ok {
+			n.gpus[i].used -= frac
+			if n.gpus[i].used < 1e-12 {
+				n.gpus[i].used = 0
+			}
+			delete(n.gpus[i].shares, tk.ID)
+		}
+	}
+	total := float64(pa.pods) * tk.GPUsPerPod
+	if tk.Type == task.Spot {
+		n.spotUsed -= total
+		if n.spotUsed < 1e-12 {
+			n.spotUsed = 0
+		}
+	} else {
+		n.hpUsed -= total
+		if n.hpUsed < 1e-12 {
+			n.hpUsed = 0
+		}
+	}
+	delete(n.podsByTask, tk.ID)
+	return true
+}
+
+// PodsOf returns the number of pods of task id on this node.
+func (n *Node) PodsOf(id int) int {
+	if pa := n.podsByTask[id]; pa != nil {
+		return pa.pods
+	}
+	return 0
+}
+
+// SpotTasks returns the spot tasks currently running on this node,
+// sorted by task ID for determinism.
+func (n *Node) SpotTasks() []*task.Task {
+	var out []*task.Task
+	for _, pa := range n.podsByTask {
+		if pa.task.Type == task.Spot {
+			out = append(out, pa.task)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Tasks returns all tasks on this node sorted by ID.
+func (n *Node) Tasks() []*task.Task {
+	var out []*task.Task
+	for _, pa := range n.podsByTask {
+		out = append(out, pa.task)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RecordEviction notes a spot eviction on this node at time t. The
+// history stays time-sorted even if callers report out of order.
+func (n *Node) RecordEviction(t simclock.Time) {
+	if k := len(n.evictions); k > 0 && t < n.evictions[k-1] {
+		i := sort.Search(k, func(i int) bool { return n.evictions[i] > t })
+		n.evictions = append(n.evictions, 0)
+		copy(n.evictions[i+1:], n.evictions[i:])
+		n.evictions[i] = t
+	} else {
+		n.evictions = append(n.evictions, t)
+	}
+	// Trim entries older than the long window plus slack to bound
+	// memory; callers only query 1 h / 24 h windows.
+	cutoff := t.Add(-2 * 24 * simclock.Hour)
+	trim := 0
+	for trim < len(n.evictions) && n.evictions[trim] < cutoff {
+		trim++
+	}
+	if trim > 0 {
+		n.evictions = append(n.evictions[:0], n.evictions[trim:]...)
+	}
+}
+
+// EvictionsSince counts spot evictions on this node in (since, now].
+func (n *Node) EvictionsSince(since simclock.Time) int {
+	i := sort.Search(len(n.evictions), func(i int) bool { return n.evictions[i] > since })
+	return len(n.evictions) - i
+}
+
+// WeightedEvictionRate implements Eq. (15):
+//
+//	ē = γ·e_short + (1−γ)·e_long/T_long
+//
+// where e_short and e_long count eviction events in the past short
+// and long windows and T_long is the long window length in hours.
+func (n *Node) WeightedEvictionRate(now simclock.Time, gamma float64, short, long simclock.Duration) float64 {
+	eShort := float64(n.EvictionsSince(now.Add(-short)))
+	eLong := float64(n.EvictionsSince(now.Add(-long)))
+	return gamma*eShort + (1-gamma)*eLong/long.Hours()
+}
+
+// Fragmentation measures how much idle capacity is stranded for
+// power-of-two whole-card requests: the idle whole cards minus the
+// largest request size in {8,4,2,1} combinations that could be
+// packed. A node with 0 or a full multiple of usable sizes scores 0.
+func (n *Node) Fragmentation() float64 {
+	idle := n.WholeFreeGPUs()
+	rem := idle
+	for _, s := range []int{8, 4, 2, 1} {
+		rem %= s
+		if rem == 0 {
+			break
+		}
+	}
+	// With sizes down to 1 the remainder is always 0; instead,
+	// count idle capacity that cannot serve the largest popular
+	// request still pending. We use distance-to-alignment: idle
+	// cards that do not complete a group of 8 are worth less.
+	frag := 0.0
+	if idle > 0 && idle < 8 {
+		// Stranded fraction grows as idle drifts away from any
+		// power of two.
+		best := 1
+		for _, s := range []int{8, 4, 2, 1} {
+			if s <= idle {
+				best = s
+				break
+			}
+		}
+		frag = float64(idle - best)
+	}
+	return frag
+}
+
+// String implements fmt.Stringer.
+func (n *Node) String() string {
+	return fmt.Sprintf("node %d (%s, %d GPUs, %.1f hp + %.1f spot used)", n.ID, n.Model, len(n.gpus), n.hpUsed, n.spotUsed)
+}

@@ -1,0 +1,139 @@
+// Package core composes the paper's three modules — the GPU Demand
+// Estimator (internal/gde), the Spot Quota Allocator (internal/sqa)
+// and the Preemptive Task Scheduler (internal/pts) — into the
+// closed-loop GFS system of Fig. 6.
+package core
+
+import (
+	"sort"
+
+	"github.com/sjtucitlab/gfs/internal/gde"
+	"github.com/sjtucitlab/gfs/internal/pts"
+	"github.com/sjtucitlab/gfs/internal/sched"
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/sqa"
+)
+
+// Options configures a GFS instance.
+type Options struct {
+	// PTS configures the scheduler; zero value means defaults.
+	PTS pts.Config
+	// SQA configures the quota allocator; zero value means
+	// defaults.
+	SQA sqa.Config
+	// Estimator is a trained demand estimator. Nil disables
+	// forecasting: the quota falls back to idle+spot capacity,
+	// which effectively removes proactive management.
+	Estimator *gde.Estimator
+	// DisableEtaFeedback pins η = 1 (the GFS-d ablation).
+	DisableEtaFeedback bool
+	// RampFraction bounds how fast spot usage may grow: per quota
+	// update, admissions may raise spot usage by at most this
+	// fraction of cluster capacity. Without it, a backlog released
+	// after a quota dip floods the cluster in one scheduling pass
+	// and the next HP surge evicts the whole cohort. Zero means
+	// the default 5%.
+	RampFraction float64
+}
+
+// DefaultOptions returns Table 4's settings (estimator left nil for
+// the caller to supply).
+func DefaultOptions() Options {
+	return Options{PTS: pts.DefaultConfig(), SQA: sqa.DefaultConfig()}
+}
+
+// System bundles the scheduler and quota policy for the simulator.
+type System struct {
+	Scheduler *pts.Scheduler
+	Quota     *Quota
+}
+
+// New assembles a GFS system.
+func New(opts Options) *System {
+	if opts.PTS == (pts.Config{}) {
+		opts.PTS = pts.DefaultConfig()
+	}
+	if opts.SQA == (sqa.Config{}) {
+		opts.SQA = sqa.DefaultConfig()
+	}
+	if opts.RampFraction <= 0 {
+		opts.RampFraction = 0.05
+	}
+	return &System{
+		Scheduler: pts.New(opts.PTS),
+		Quota: &Quota{
+			est:         opts.Estimator,
+			alloc:       sqa.New(opts.SQA),
+			disableFeed: opts.DisableEtaFeedback,
+			ramp:        opts.RampFraction,
+		},
+	}
+}
+
+// Quota is the GFS spot quota policy: GDE forecasts feed SQA's
+// inventory estimate, and the observed eviction rate and queuing
+// delays feed back into η (the closed loop of Fig. 6).
+//
+// The quota itself refreshes at every update tick (300 s, Table 4),
+// but η moves at most once per guarantee window H: the eviction rate
+// it reacts to is measured over the past H hours, so faster
+// multiplicative updates compound against a sticky signal and drive
+// the loop into oscillation.
+type Quota struct {
+	est         *gde.Estimator
+	alloc       *sqa.Allocator
+	disableFeed bool
+	ramp        float64
+	lastEtaAt   simclock.Time
+	etaUpdated  bool
+}
+
+// Allocator exposes the underlying SQA (for inspection in tests and
+// reports).
+func (q *Quota) Allocator() *sqa.Allocator { return q.alloc }
+
+// Quota implements sched.QuotaPolicy.
+func (q *Quota) Quota(ctx *sched.QuotaContext) float64 {
+	if q.disableFeed {
+		q.alloc.SetEta(1.0)
+	} else {
+		window := simclock.Duration(q.alloc.Config().H) * simclock.Hour
+		if !q.etaUpdated || ctx.Now.Sub(q.lastEtaAt) >= window {
+			q.alloc.UpdateEta(ctx.EvictionRate, ctx.MaxSpotQueue)
+			q.lastEtaAt = ctx.Now
+			q.etaUpdated = true
+		}
+	}
+	capacity := ctx.Cluster.TotalGPUs("")
+	idle := ctx.Cluster.IdleGPUs("")
+
+	inventory := capacity // no estimator: everything idle is fair game
+	if q.est != nil && q.est.Fitted() {
+		startHour := ctx.HourIndex - q.est.History()
+		forecasts := make([]sqa.OrgForecast, 0, len(ctx.OrgDemand))
+		for _, org := range sortedKeys(ctx.OrgDemand) {
+			mu, sigma := q.est.Forecast(org, ctx.OrgDemand[org], startHour)
+			forecasts = append(forecasts, sqa.OrgForecast{Mu: mu, Sigma: sigma})
+		}
+		inventory = q.alloc.Inventory(capacity, forecasts)
+	}
+	return q.alloc.Quota(inventory, idle, ctx.SpotGuaranteed)
+}
+
+// MaxAdmitPerPass implements sched.AdmissionLimiter: between quota
+// updates, spot usage may grow by at most ramp·capacity (one task
+// minimum, so large gang tasks cannot deadlock). Without the ramp, a
+// backlog released after a quota dip floods the cluster in one
+// scheduling pass and the next HP surge evicts the whole cohort.
+func (q *Quota) MaxAdmitPerPass(capacity float64) float64 {
+	return q.ramp * capacity
+}
+
+func sortedKeys(m map[string][]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,313 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sjtucitlab/gfs/internal/org"
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/stats"
+	"github.com/sjtucitlab/gfs/internal/task"
+	"github.com/sjtucitlab/gfs/internal/timefeat"
+	"github.com/sjtucitlab/gfs/internal/trace"
+)
+
+// Figure2Data holds the four CDFs of GPU requests.
+type Figure2Data struct {
+	Pod2024, Pod2020   []stats.CDFPoint
+	Task2024, Task2020 []stats.CDFPoint
+}
+
+// Figure2 reproduces the request-size CDFs by generating both workload
+// regimes and computing pod- and task-level distributions.
+func Figure2(scale SimScale) Figure2Data {
+	gen := func(regime trace.Regime) (pod, tsk []float64) {
+		tasks := trace.Generate(trace.Config{
+			Seed: scale.Seed, Days: scale.Days,
+			ClusterGPUs: scale.capacity(),
+			HPLoad:      scale.HPLoad, SpotLoad: scale.SpotLoad,
+			GPUModel: "A100", Regime: regime,
+			MaxDuration: scale.MaxTaskDuration,
+		})
+		for _, tk := range tasks {
+			pod = append(pod, tk.GPUsPerPod)
+			tsk = append(tsk, tk.TotalGPUs())
+		}
+		return pod, tsk
+	}
+	p24, t24 := gen(trace.Regime2024)
+	p20, t20 := gen(trace.Regime2020)
+	return Figure2Data{
+		Pod2024: stats.CDF(p24), Pod2020: stats.CDF(p20),
+		Task2024: stats.CDF(t24), Task2020: stats.CDF(t20),
+	}
+}
+
+// FullCardFraction reads P(request ≥ 1 GPU) off a pod CDF.
+func FullCardFraction(cdf []stats.CDFPoint) float64 {
+	return 1 - stats.CDFAt(cdf, 0.999)
+}
+
+// Figure3Row groups runtime and queuing statistics by GPU request
+// size.
+type Figure3Row struct {
+	GPUs         float64
+	MedianRunH   float64
+	P90RunH      float64
+	MedianQueueH float64
+	MeanQueueH   float64
+	Count        int
+}
+
+// Figure3 runs the 2024 trace under the pre-GFS first-fit scheduler
+// and reports run/queue times by request size — larger gang requests
+// should queue disproportionately longer. The paper's cluster ran
+// saturated when these waits were measured, so the experiment raises
+// the offered HP load accordingly.
+func Figure3(scale SimScale) []Figure3Row {
+	s := scale
+	s.HPLoad = scale.HPLoad * 2.2
+	tasks := s.Trace(2)
+	runFF(s.NewCluster(), tasks)
+	byGPU := map[float64]*struct{ runs, queues []float64 }{}
+	for _, tk := range tasks {
+		if tk.State != task.Finished {
+			continue
+		}
+		g := tk.GPUsPerPod
+		if g < 1 {
+			g = 0.5
+		}
+		b := byGPU[g]
+		if b == nil {
+			b = &struct{ runs, queues []float64 }{}
+			byGPU[g] = b
+		}
+		b.runs = append(b.runs, tk.Duration.Hours())
+		b.queues = append(b.queues, tk.JQT().Hours())
+	}
+	var rows []Figure3Row
+	for _, g := range []float64{0.5, 1, 2, 4, 8} {
+		b := byGPU[g]
+		if b == nil {
+			continue
+		}
+		rows = append(rows, Figure3Row{
+			GPUs:         g,
+			MedianRunH:   stats.Median(b.runs),
+			P90RunH:      stats.Percentile(b.runs, 0.9),
+			MedianQueueH: stats.Median(b.queues),
+			MeanQueueH:   stats.Mean(b.queues),
+			Count:        len(b.runs),
+		})
+	}
+	return rows
+}
+
+// Figure4 returns the 168-hour demand series of the four preset
+// organizations.
+func Figure4(seed int64) map[string][]float64 {
+	cal := timefeat.NewCalendar()
+	return org.Panel(org.Presets(), cal, 0, 168, seed)
+}
+
+// Figure5Data holds hourly eviction rates across a multi-week run
+// under the static-quota first-fit regime.
+type Figure5Data struct {
+	// HourlyRate[h] is evictions/runs for runs ending in hour h.
+	HourlyRate []float64
+	// Weekly summaries.
+	Weeks []WeekSummary
+}
+
+// WeekSummary is one week's eviction-rate spread.
+type WeekSummary struct {
+	Max, Mid, Min float64
+}
+
+// Figure5 simulates `weeks` weeks under the pre-GFS configuration and
+// derives hourly eviction rates from the run logs.
+func Figure5(scale SimScale, weeks int) Figure5Data {
+	s := scale
+	s.Days = weeks * 7
+	s.HPLoad = scale.HPLoad * 1.25 // the pre-GFS cluster ran hot
+	tasks := s.Trace(3)
+	runFF(s.NewCluster(), tasks)
+
+	hours := weeks * 7 * 24
+	evict := make([]float64, hours)
+	runs := make([]float64, hours)
+	for _, tk := range tasks {
+		if tk.Type != task.Spot {
+			continue
+		}
+		for _, r := range tk.Runs {
+			h := int(r.End / simclock.Time(simclock.Hour))
+			if h < 0 || h >= hours {
+				continue
+			}
+			runs[h]++
+			if r.Evicted {
+				evict[h]++
+			}
+		}
+	}
+	rates := make([]float64, hours)
+	for h := range rates {
+		if runs[h] > 0 {
+			rates[h] = evict[h] / runs[h]
+		}
+	}
+	var summary []WeekSummary
+	for w := 0; w < weeks; w++ {
+		var wk []float64
+		for h := w * 168; h < (w+1)*168 && h < hours; h++ {
+			if runs[h] > 0 {
+				wk = append(wk, rates[h])
+			}
+		}
+		if len(wk) == 0 {
+			summary = append(summary, WeekSummary{})
+			continue
+		}
+		summary = append(summary, WeekSummary{
+			Max: stats.Max(wk), Mid: stats.Median(wk), Min: stats.Min(wk),
+		})
+	}
+	return Figure5Data{HourlyRate: rates, Weeks: summary}
+}
+
+// Figure8Data is the node×hour allocation heatmap of one cluster.
+type Figure8Data struct {
+	Name string
+	// Alloc[node][hour] is the node's allocated GPUs (0–8).
+	Alloc [][]float64
+	// MeanRate is the cluster's average allocation rate.
+	MeanRate float64
+}
+
+// Figure8 synthesizes the weekly allocation heatmaps of three A100
+// clusters (≈500, 2000 and 1100 cards in the paper; scaled by
+// scale.Nodes/16). Cluster B gets pronounced diurnal idleness; A and
+// C run hotter with a few persistently idle nodes, matching the
+// production observation.
+func Figure8(scale SimScale) []Figure8Data {
+	f := scale.Nodes / 16
+	if f < 1 {
+		f = 1
+	}
+	cal := timefeat.NewCalendar()
+	configs := []struct {
+		name  string
+		nodes int
+		cfg   org.Config
+		idle  int // persistently idle nodes
+	}{
+		{"A", 8 * f, org.Config{Base: 0.86, DiurnalAmp: 0.06, PeakStart: 10, PeakEnd: 24, Noise: 0.02}, 1 * f},
+		{"B", 31 * f, org.Config{Base: 0.52, DiurnalAmp: 0.28, PeakStart: 9, PeakEnd: 23, Noise: 0.03}, 0},
+		{"C", 17 * f, org.Config{Base: 0.84, DiurnalAmp: 0.08, PeakStart: 10, PeakEnd: 22, Noise: 0.02}, 2 * f},
+	}
+	var out []Figure8Data
+	for ci, c := range configs {
+		series := c.cfg.Series(cal, 0, 168, seededRand(scale.Seed+int64(ci)))
+		alloc := make([][]float64, c.nodes)
+		for n := range alloc {
+			alloc[n] = make([]float64, 168)
+		}
+		total := 0.0
+		for h := 0; h < 168; h++ {
+			// Fraction of the cluster busy this hour → fill
+			// nodes first-fit.
+			frac := series[h]
+			if frac > 1 {
+				frac = 1
+			}
+			busyCards := frac * float64((c.nodes-c.idle)*8)
+			for n := 0; n < c.nodes-c.idle; n++ {
+				take := busyCards
+				if take > 8 {
+					take = 8
+				}
+				alloc[n][h] = take
+				busyCards -= take
+				if busyCards <= 0 {
+					break
+				}
+			}
+			total += frac * float64(c.nodes-c.idle) / float64(c.nodes)
+		}
+		out = append(out, Figure8Data{
+			Name:     c.name,
+			Alloc:    alloc,
+			MeanRate: total / 168,
+		})
+	}
+	return out
+}
+
+// Figure9Row compares one pool before and after GFS deployment.
+type Figure9Row struct {
+	Model                     string
+	EvictionPre, EvictionPost float64
+	AllocPre, AllocPost       float64
+}
+
+// Figure9 reproduces the deployment comparison: the same per-pool
+// trace scheduled by the pre-GFS configuration (static quota +
+// first-fit) and by GFS.
+func Figure9(scale SimScale) ([]Figure9Row, error) {
+	est, err := scale.TrainEstimator()
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure9: %w", err)
+	}
+	pools := []struct {
+		model string
+		nodes int
+		gpus  int
+		load  float64
+	}{
+		{"A10", scale.Nodes * 2, 1, 0.96},
+		{"A100", scale.Nodes, 8, 0.9},
+		{"A800", maxInt(scale.Nodes/2, 1), 8, 0.92},
+	}
+	var rows []Figure9Row
+	for i, p := range pools {
+		tasks := traceOf(scale, p.model, float64(p.nodes*p.gpus), p.load, i, float64(p.gpus))
+		pre := runFF(clusterOf(p.model, p.nodes, p.gpus), tasks)
+
+		tasks2 := traceOf(scale, p.model, float64(p.nodes*p.gpus), p.load, i, float64(p.gpus))
+		sys := scale.NewGFS(est, GFSFull, 1)
+		cl := clusterOf(p.model, p.nodes, p.gpus)
+		cfgSim := simConfigFor(cl, sys)
+		post := runGFSOn(cfgSim, tasks2)
+
+		rows = append(rows, Figure9Row{
+			Model:        p.model,
+			EvictionPre:  pre.Spot.EvictionRate,
+			EvictionPost: post.Spot.EvictionRate,
+			AllocPre:     pre.AllocationRate,
+			AllocPost:    post.AllocationRate,
+		})
+	}
+	return rows, nil
+}
+
+// FormatFigure9 renders the deployment comparison.
+func FormatFigure9(rows []Figure9Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %12s %12s %12s %12s\n",
+		"Model", "Evict pre", "Evict post", "Alloc pre", "Alloc post")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s %11.2f%% %11.2f%% %11.2f%% %11.2f%%\n",
+			r.Model, 100*r.EvictionPre, 100*r.EvictionPost,
+			100*r.AllocPre, 100*r.AllocPost)
+	}
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"github.com/sjtucitlab/gfs/internal/baselines"
+	"github.com/sjtucitlab/gfs/internal/cluster"
+	"github.com/sjtucitlab/gfs/internal/core"
+	"github.com/sjtucitlab/gfs/internal/sched"
+	"github.com/sjtucitlab/gfs/internal/task"
+	"github.com/sjtucitlab/gfs/internal/trace"
+)
+
+// comparisonRuns lists the Table 5 contenders in paper order.
+func comparisonRuns() []schedRun {
+	return []schedRun{
+		{scheduler: func() sched.Scheduler { return baselines.NewYARNCS() }},
+		{scheduler: func() sched.Scheduler { return baselines.NewChronus() }, evictionNA: true},
+		{scheduler: func() sched.Scheduler { return baselines.NewLyra() }},
+		{scheduler: func() sched.Scheduler { return baselines.NewFGD() }},
+		{gfs: true},
+	}
+}
+
+// clusterOf builds a single-model pool.
+func clusterOf(model string, nodes, gpusPerNode int) *cluster.Cluster {
+	return cluster.NewHomogeneous(model, nodes, gpusPerNode)
+}
+
+// traceOf generates a per-pool trace with the given offered load.
+// maxPod caps per-pod requests at the pool's node size.
+func traceOf(scale SimScale, model string, capacity, load float64, seedOffset int, maxPod float64) []*task.Task {
+	return trace.Generate(trace.Config{
+		Seed: scale.Seed + int64(seedOffset)*997, Days: scale.Days,
+		ClusterGPUs: capacity,
+		HPLoad:      load * 0.8, SpotLoad: load * 0.2, SpotScale: 1,
+		GPUModel: model, Orgs: orgNames,
+		MaxDuration: scale.MaxTaskDuration,
+		MaxPodGPUs:  maxPod,
+	})
+}
+
+// runFF runs the pre-deployment configuration: static quota +
+// first-fit.
+func runFF(cl *cluster.Cluster, tasks []*task.Task) *sched.Result {
+	cfg := sched.DefaultSimConfig(cl, baselines.NewStaticFirstFit())
+	cfg.Quota = sched.StaticQuota{Fraction: 0.20}
+	return sched.Run(cfg, tasks)
+}
+
+// simConfigFor prepares a GFS simulation on an arbitrary cluster.
+func simConfigFor(cl *cluster.Cluster, sys *core.System) sched.SimConfig {
+	cfg := sched.DefaultSimConfig(cl, sys.Scheduler)
+	cfg.Quota = sys.Quota
+	return cfg
+}
+
+// runGFSOn executes a prepared GFS simulation.
+func runGFSOn(cfg sched.SimConfig, tasks []*task.Task) *sched.Result {
+	return sched.Run(cfg, tasks)
+}
+
+// seededRand builds a deterministic generator.
+func seededRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,218 @@
+package forecast
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/sjtucitlab/gfs/internal/nn"
+	"github.com/sjtucitlab/gfs/internal/tensor"
+	"github.com/sjtucitlab/gfs/internal/timefeat"
+)
+
+// AutoformerConfig parameterizes the Autoformer baseline (Wu et al.,
+// NeurIPS '21): progressive series decomposition with an
+// auto-correlation mechanism in place of dot-product attention.
+type AutoformerConfig struct {
+	Dim       int
+	Kernel    int
+	TopK      int
+	Epochs    int
+	LR        float64
+	BatchSize int
+	Seed      int64
+	Calendar  *timefeat.Calendar
+}
+
+// DefaultAutoformerConfig returns the experiment settings.
+func DefaultAutoformerConfig() AutoformerConfig {
+	return AutoformerConfig{Dim: 16, Kernel: 25, TopK: 3, Epochs: 6, LR: 0.005,
+		BatchSize: 8, Seed: 1, Calendar: timefeat.NewCalendar()}
+}
+
+// Autoformer is the decomposition + auto-correlation forecaster.
+type Autoformer struct {
+	cfg  AutoformerConfig
+	l, h int
+
+	inProj       *nn.Linear
+	wv           *nn.Linear
+	lnGain       *tensor.Tensor
+	lnBias       *tensor.Tensor
+	seasonalHead *nn.Linear
+	trendHead    *nn.Linear
+	maMatrix     *tensor.Tensor // constant decomposition operator
+
+	params []*tensor.Tensor
+	fitted bool
+}
+
+// NewAutoformer creates an untrained Autoformer.
+func NewAutoformer(cfg AutoformerConfig) *Autoformer {
+	if cfg.Calendar == nil {
+		cfg.Calendar = timefeat.NewCalendar()
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	return &Autoformer{cfg: cfg}
+}
+
+// Name implements Forecaster.
+func (m *Autoformer) Name() string { return "Autoformer" }
+
+func (m *Autoformer) calHour(ex Example, t int) (float64, float64) {
+	f := m.cfg.Calendar.AtHour(ex.StartHour + t)
+	return float64(f.Hour) / 24, float64(f.Weekday) / 7
+}
+
+func (m *Autoformer) build(l, h int, rng *rand.Rand) {
+	d := m.cfg.Dim
+	m.inProj = nn.NewLinear(3, d, rng)
+	m.wv = nn.NewLinear(d, d, rng)
+	m.lnGain, m.lnBias = onesRow(d), tensor.New(1, d)
+	m.seasonalHead = nn.NewLinear(d, h, rng)
+	m.trendHead = nn.NewLinear(d, h, rng)
+	ma := MovingAverageMatrix(l, m.cfg.Kernel)
+	m.maMatrix = tensor.New(l, l)
+	for i := 0; i < l; i++ {
+		for j := 0; j < l; j++ {
+			m.maMatrix.Set(i, j, ma[i][j])
+		}
+	}
+	m.params = nn.CollectParams(m.inProj, m.wv, m.seasonalHead, m.trendHead)
+	m.params = append(m.params, m.lnGain, m.lnBias)
+	m.l, m.h = l, h
+}
+
+// decomp splits a sequence representation into (seasonal, trend)
+// using the constant moving-average operator; both remain
+// differentiable because the operator is a plain MatMul.
+func (m *Autoformer) decomp(tp *tensor.Tape, x *tensor.Tensor) (seasonal, trend *tensor.Tensor) {
+	trend = tp.MatMul(m.maMatrix, x)
+	seasonal = tp.Sub(x, trend)
+	return seasonal, trend
+}
+
+// autoCorrelate implements the auto-correlation mechanism: the lag
+// weights come from the series' own autocorrelation (period-based
+// dependencies), and aggregation rolls the value sequence by each
+// selected lag. Lag selection and weights are data-driven constants;
+// gradients flow through the value projection.
+func (m *Autoformer) autoCorrelate(tp *tensor.Tape, x *tensor.Tensor, hist []float64) *tensor.Tensor {
+	v := m.wv.Forward(tp, x)
+	lags, weights := topAutocorrLags(hist, m.cfg.TopK)
+	var agg *tensor.Tensor
+	for i, lag := range lags {
+		rolled := tp.Gather(v, rollIndices(x.Rows, lag))
+		term := tp.Scale(rolled, weights[i])
+		if agg == nil {
+			agg = term
+		} else {
+			agg = tp.Add(agg, term)
+		}
+	}
+	return agg
+}
+
+// rollIndices returns the index permutation of a circular shift by
+// lag (the "time delay aggregation" roll).
+func rollIndices(n, lag int) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = ((i+lag)%n + n) % n
+	}
+	return idx
+}
+
+// topAutocorrLags computes the autocorrelation of the scaled history
+// and returns the k most correlated positive lags with softmax
+// weights.
+func topAutocorrLags(hist []float64, k int) (lags []int, weights []float64) {
+	n := len(hist)
+	maxLag := n / 2
+	if maxLag < 1 {
+		return []int{0}, []float64{1}
+	}
+	type lc struct {
+		lag int
+		r   float64
+	}
+	var cands []lc
+	for lag := 1; lag <= maxLag; lag++ {
+		s := 0.0
+		for t := lag; t < n; t++ {
+			s += hist[t] * hist[t-lag]
+		}
+		cands = append(cands, lc{lag: lag, r: s / float64(n-lag)})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].r != cands[b].r {
+			return cands[a].r > cands[b].r
+		}
+		return cands[a].lag < cands[b].lag
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	var raw []float64
+	for i := 0; i < k; i++ {
+		lags = append(lags, cands[i].lag)
+		raw = append(raw, cands[i].r)
+	}
+	// Softmax over the selected correlations.
+	maxR := math.Inf(-1)
+	for _, r := range raw {
+		if r > maxR {
+			maxR = r
+		}
+	}
+	sum := 0.0
+	weights = make([]float64, len(raw))
+	for i, r := range raw {
+		weights[i] = math.Exp(r - maxR)
+		sum += weights[i]
+	}
+	for i := range weights {
+		weights[i] /= sum
+	}
+	return lags, weights
+}
+
+func (m *Autoformer) forward(tp *tensor.Tape, ex Example, sc scaler) *tensor.Tensor {
+	hist := sc.apply(ex.History)
+	x := m.inProj.Forward(tp, seqInput(m, ex, hist))
+	seasonal, trend := m.decomp(tp, x)
+	ac := m.autoCorrelate(tp, seasonal, hist)
+	seasonal = tp.LayerNorm(tp.Add(seasonal, ac), m.lnGain, m.lnBias, 1e-5)
+	// Progressive decomposition: refine once more after mixing.
+	seasonal2, trend2 := m.decomp(tp, seasonal)
+	trendAll := tp.Add(trend, trend2)
+	ys := m.seasonalHead.Forward(tp, tp.MeanRows(seasonal2))
+	yt := m.trendHead.Forward(tp, tp.MeanRows(trendAll))
+	return tp.Add(ys, yt)
+}
+
+// Fit implements Forecaster.
+func (m *Autoformer) Fit(train []Example) error {
+	l, h, err := shapeOf(train)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	m.build(l, h, rng)
+	trainPointModel(rng, m.params, m.cfg.Epochs, m.cfg.LR, m.cfg.BatchSize, 5,
+		train, h, m.forward)
+	m.fitted = true
+	return nil
+}
+
+// Predict implements Forecaster.
+func (m *Autoformer) Predict(ex Example) []float64 {
+	if !m.fitted {
+		return make([]float64, len(ex.Future))
+	}
+	sc := newScaler(ex.History)
+	tp := tensor.NewTape()
+	return sc.invert(m.forward(tp, ex, sc).Row(0))
+}

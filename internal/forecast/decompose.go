@@ -1,0 +1,70 @@
+package forecast
+
+// Decompose splits a series into trend and cyclical components using
+// the paper's domain-adaptive sliding kernel (Eqs. 1–2): a moving
+// average with reflection padding to suppress boundary effects.
+// kernel must be positive; even kernels are rounded up to the next
+// odd size for symmetry.
+func Decompose(series []float64, kernel int) (trend, cyclical []float64) {
+	n := len(series)
+	trend = make([]float64, n)
+	cyclical = make([]float64, n)
+	if n == 0 {
+		return trend, cyclical
+	}
+	if kernel < 1 {
+		kernel = 1
+	}
+	if kernel%2 == 0 {
+		kernel++
+	}
+	half := kernel / 2
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		for k := -half; k <= half; k++ {
+			sum += series[reflect(i+k, n)]
+		}
+		trend[i] = sum / float64(kernel)
+		cyclical[i] = series[i] - trend[i]
+	}
+	return trend, cyclical
+}
+
+// reflect maps an out-of-range index back inside [0, n) by mirroring
+// at the boundaries (…2 1 0 | 0 1 2 … n−1 | n−1 n−2…).
+func reflect(i, n int) int {
+	if n == 1 {
+		return 0
+	}
+	period := 2 * n
+	i %= period
+	if i < 0 {
+		i += period
+	}
+	if i >= n {
+		i = period - 1 - i
+	}
+	return i
+}
+
+// MovingAverageMatrix builds the n×n constant matrix A such that A·x
+// equals the reflected moving average of x. The Autoformer baseline
+// uses it to make decomposition a differentiable linear map.
+func MovingAverageMatrix(n, kernel int) [][]float64 {
+	if kernel < 1 {
+		kernel = 1
+	}
+	if kernel%2 == 0 {
+		kernel++
+	}
+	half := kernel / 2
+	a := make([][]float64, n)
+	w := 1.0 / float64(kernel)
+	for i := range a {
+		a[i] = make([]float64, n)
+		for k := -half; k <= half; k++ {
+			a[i][reflect(i+k, n)] += w
+		}
+	}
+	return a
+}

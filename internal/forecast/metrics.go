@@ -1,0 +1,84 @@
+package forecast
+
+import (
+	"math"
+
+	"github.com/sjtucitlab/gfs/internal/stats"
+)
+
+// Accuracy bundles the four point-forecast metrics of Fig. 10.
+type Accuracy struct {
+	MAE  float64
+	MSE  float64
+	RMSE float64
+	MAPE float64
+}
+
+// Evaluate scores a fitted point forecaster over test examples.
+func Evaluate(m Forecaster, test []Example) Accuracy {
+	var absErr, sqErr, apeErr, n float64
+	for _, ex := range test {
+		pred := m.Predict(ex)
+		for i, y := range ex.Future {
+			d := pred[i] - y
+			absErr += math.Abs(d)
+			sqErr += d * d
+			if math.Abs(y) > 1e-9 {
+				apeErr += math.Abs(d / y)
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return Accuracy{}
+	}
+	return Accuracy{
+		MAE:  absErr / n,
+		MSE:  sqErr / n,
+		RMSE: math.Sqrt(sqErr / n),
+		MAPE: apeErr / n,
+	}
+}
+
+// MAQE is the paper's Mean Absolute Quantile Error at level p: the
+// mean absolute gap between the predicted p-quantile and the realized
+// value, normalized by the mean realized demand so scores are
+// comparable across organizations (Table 7 reports values like
+// 0.026).
+func MAQE(m Distributional, test []Example, p float64) float64 {
+	z := stats.NormICDF(p)
+	var gap, ySum, n float64
+	for _, ex := range test {
+		mu, sigma := m.PredictDist(ex)
+		for i, y := range ex.Future {
+			q := mu[i] + z*sigma[i]
+			gap += math.Abs(q - y)
+			ySum += math.Abs(y)
+			n++
+		}
+	}
+	if n == 0 || ySum == 0 {
+		return 0
+	}
+	return (gap / n) / (ySum / n)
+}
+
+// Coverage returns the fraction of realized values at or below the
+// predicted p-quantile — calibration should give ≈ p.
+func Coverage(m Distributional, test []Example, p float64) float64 {
+	z := stats.NormICDF(p)
+	var hit, n float64
+	for _, ex := range test {
+		mu, sigma := m.PredictDist(ex)
+		for i, y := range ex.Future {
+			if y <= mu[i]+z*sigma[i] {
+				hit++
+			}
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return hit / n
+}

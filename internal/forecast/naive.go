@@ -1,0 +1,80 @@
+package forecast
+
+// NaivePeak predicts every future hour as the maximum demand observed
+// over the trailing week of history (or the whole history when
+// shorter). This is the "previous week peak" heuristic the production
+// cluster used before GDE, and serves as the GFS-e ablation baseline
+// (Table 8).
+type NaivePeak struct{}
+
+// Name implements Forecaster.
+func (NaivePeak) Name() string { return "NaivePeak" }
+
+// Fit implements Forecaster (nothing to learn).
+func (NaivePeak) Fit([]Example) error { return nil }
+
+// Predict implements Forecaster.
+func (NaivePeak) Predict(ex Example) []float64 {
+	lookback := 168
+	if len(ex.History) < lookback {
+		lookback = len(ex.History)
+	}
+	peak := 0.0
+	for _, v := range ex.History[len(ex.History)-lookback:] {
+		if v > peak {
+			peak = v
+		}
+	}
+	out := make([]float64, len(ex.Future))
+	for i := range out {
+		out[i] = peak
+	}
+	return out
+}
+
+// PredictDist implements Distributional with a degenerate (zero
+// variance) band: the heuristic is deterministic and expresses no
+// uncertainty, which is exactly why it over-reserves.
+func (n NaivePeak) PredictDist(ex Example) (mu, sigma []float64) {
+	mu = n.Predict(ex)
+	sigma = make([]float64, len(mu))
+	for i := range sigma {
+		sigma[i] = 1e-9
+	}
+	return mu, sigma
+}
+
+// SeasonalNaive predicts hour t as the value one seasonal period
+// earlier (default 24 h), a standard sanity baseline.
+type SeasonalNaive struct {
+	// Period is the season length in hours; 0 means 24.
+	Period int
+}
+
+// Name implements Forecaster.
+func (s SeasonalNaive) Name() string { return "SeasonalNaive" }
+
+// Fit implements Forecaster (nothing to learn).
+func (SeasonalNaive) Fit([]Example) error { return nil }
+
+// Predict implements Forecaster.
+func (s SeasonalNaive) Predict(ex Example) []float64 {
+	period := s.Period
+	if period <= 0 {
+		period = 24
+	}
+	out := make([]float64, len(ex.Future))
+	n := len(ex.History)
+	for i := range out {
+		// Walk back whole periods until inside the history.
+		off := n + i - period
+		for off >= n {
+			off -= period
+		}
+		if off < 0 {
+			off = n - 1
+		}
+		out[i] = ex.History[off]
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package forecast
+
+import (
+	"math/rand"
+
+	"github.com/sjtucitlab/gfs/internal/nn"
+	"github.com/sjtucitlab/gfs/internal/tensor"
+	"github.com/sjtucitlab/gfs/internal/timefeat"
+)
+
+// OrgLinearConfig parameterizes the OrgLinear model (Fig. 7).
+type OrgLinearConfig struct {
+	// Kernel is the moving-average window of the trend/cyclical
+	// decomposition (Eq. 1).
+	Kernel int
+	// EmbedDim is the width of each temporal and business
+	// embedding.
+	EmbedDim int
+	// Vocab sizes for the business attributes.
+	NumOrgs, NumClusters, NumModels int
+	// Epochs, LR and BatchSize drive MLE training (Eq. 8).
+	Epochs    int
+	LR        float64
+	BatchSize int
+	// Seed makes initialization and shuffling reproducible.
+	Seed int64
+	// Calendar resolves hour indices to temporal features.
+	Calendar *timefeat.Calendar
+}
+
+// DefaultOrgLinearConfig returns the settings used by the
+// experiments.
+func DefaultOrgLinearConfig() OrgLinearConfig {
+	return OrgLinearConfig{
+		Kernel:   25,
+		EmbedDim: 4,
+		NumOrgs:  16, NumClusters: 8, NumModels: 8,
+		Epochs: 40, LR: 0.01, BatchSize: 16,
+		Seed:     1,
+		Calendar: timefeat.NewCalendar(),
+	}
+}
+
+// OrgLinear is the paper's hierarchical probabilistic forecaster:
+// decomposition into trend and cyclical parts, temporal and business
+// embeddings, two parallel linear heads for the mean (Eqs. 5–6) and a
+// softplus variance head (Eq. 7), trained by Gaussian maximum
+// likelihood (Eq. 8).
+type OrgLinear struct {
+	cfg  OrgLinearConfig
+	l, h int
+
+	hourEmb, weekEmb, holEmb *nn.Embedding
+	orgEmb, clusterEmb       *nn.Embedding
+	modelEmb                 *nn.Embedding
+	bizAttn                  *nn.MultiHeadAttention
+
+	cycHead   *nn.Linear
+	trendHead *nn.Linear
+	varHead   *nn.Linear
+
+	params []*tensor.Tensor
+	fitted bool
+}
+
+// NewOrgLinear creates an untrained model; layer shapes are fixed at
+// first Fit.
+func NewOrgLinear(cfg OrgLinearConfig) *OrgLinear {
+	if cfg.Calendar == nil {
+		cfg.Calendar = timefeat.NewCalendar()
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 16
+	}
+	return &OrgLinear{cfg: cfg}
+}
+
+// Name implements Forecaster.
+func (m *OrgLinear) Name() string { return "OrgLinear" }
+
+func (m *OrgLinear) build(l, h int, rng *rand.Rand) {
+	e := m.cfg.EmbedDim
+	hours, weeks, hols := timefeat.Dims()
+	m.hourEmb = nn.NewEmbedding(hours, e, rng)
+	m.weekEmb = nn.NewEmbedding(weeks, e, rng)
+	m.holEmb = nn.NewEmbedding(hols, e, rng)
+	m.orgEmb = nn.NewEmbedding(m.cfg.NumOrgs, e, rng)
+	m.clusterEmb = nn.NewEmbedding(m.cfg.NumClusters, e, rng)
+	m.modelEmb = nn.NewEmbedding(m.cfg.NumModels, e, rng)
+	m.bizAttn = nn.NewMultiHeadAttention(e, 1, rng)
+	ctxDim := e + 3*e // business (pooled) + temporal (concat of 3)
+	m.cycHead = nn.NewLinear(l+ctxDim, h, rng)
+	m.trendHead = nn.NewLinear(l+ctxDim, h, rng)
+	m.varHead = nn.NewLinear(l+ctxDim, h, rng)
+	m.params = nn.CollectParams(
+		m.hourEmb, m.weekEmb, m.holEmb,
+		m.orgEmb, m.clusterEmb, m.modelEmb,
+		m.bizAttn, m.cycHead, m.trendHead, m.varHead,
+	)
+	m.l, m.h = l, h
+}
+
+// context assembles [c_o ⊕ c_t] (1×4e) for an example.
+func (m *OrgLinear) context(tp *tensor.Tape, ex Example) *tensor.Tensor {
+	// Business attention (Eq. 4): attend over the three attribute
+	// embeddings, then pool.
+	org := clampIdx(ex.Org.OrgID, m.cfg.NumOrgs)
+	cl := clampIdx(ex.Org.ClusterID, m.cfg.NumClusters)
+	mdl := clampIdx(ex.Org.ModelID, m.cfg.NumModels)
+	rows := tp.ConcatRows(
+		m.orgEmb.Forward(tp, []int{org}),
+		m.clusterEmb.Forward(tp, []int{cl}),
+		m.modelEmb.Forward(tp, []int{mdl}),
+	)
+	co := tp.MeanRows(m.bizAttn.Forward(tp, rows, nil))
+
+	// Temporal features at the forecast origin (Eq. 3).
+	hi, wi, hol := timeFeatureIndices(m.cfg.Calendar, ex.StartHour+m.l)
+	ct := tp.ConcatCols(
+		m.hourEmb.Forward(tp, []int{hi}),
+		m.weekEmb.Forward(tp, []int{wi}),
+		m.holEmb.Forward(tp, []int{hol}),
+	)
+	return tp.ConcatCols(co, ct)
+}
+
+func clampIdx(i, vocab int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= vocab {
+		return vocab - 1
+	}
+	return i
+}
+
+// forward computes normalized (mu, sigma) rows (1×H each).
+func (m *OrgLinear) forward(tp *tensor.Tape, ex Example, sc scaler) (mu, sigma *tensor.Tensor) {
+	hist := sc.apply(ex.History)
+	trend, cyc := Decompose(hist, m.cfg.Kernel)
+	ctx := m.context(tp, ex)
+	xc := tp.ConcatCols(tensor.FromSlice(1, m.l, cyc), ctx)
+	xt := tp.ConcatCols(tensor.FromSlice(1, m.l, trend), ctx)
+	xv := tp.ConcatCols(tensor.FromSlice(1, m.l, hist), ctx)
+	yc := m.cycHead.Forward(tp, xc)
+	yt := m.trendHead.Forward(tp, xt)
+	mu = tp.Add(yc, yt)                            // Eq. 6
+	sigma = tp.Softplus(m.varHead.Forward(tp, xv)) // Eq. 7
+	sigma = tp.AddScalar(sigma, 1e-4)              // keep σ > 0
+	return mu, sigma
+}
+
+// Fit implements Forecaster via minibatch Adam on the Gaussian NLL.
+func (m *OrgLinear) Fit(train []Example) error {
+	l, h, err := shapeOf(train)
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(m.cfg.Seed))
+	m.build(l, h, rng)
+	opt := nn.NewAdam(m.params, m.cfg.LR)
+	opt.Clip = 5
+
+	idx := make([]int, len(train))
+	for i := range idx {
+		idx[i] = i
+	}
+	tp := tensor.NewTape()
+	for epoch := 0; epoch < m.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for b := 0; b < len(idx); b += m.cfg.BatchSize {
+			end := b + m.cfg.BatchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			nn.ZeroGrads(m.params)
+			for _, i := range idx[b:end] {
+				ex := train[i]
+				sc := newScaler(ex.History)
+				tp.Reset()
+				mu, sigma := m.forward(tp, ex, sc)
+				y := tensor.FromSlice(1, h, sc.apply(ex.Future))
+				loss := nn.GaussianNLL(tp, mu, sigma, y)
+				tp.Backward(loss)
+			}
+			opt.Step()
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// PredictDist implements Distributional.
+func (m *OrgLinear) PredictDist(ex Example) (mu, sigma []float64) {
+	if !m.fitted {
+		return make([]float64, len(ex.Future)), ones(len(ex.Future))
+	}
+	sc := newScaler(ex.History)
+	tp := tensor.NewTape()
+	muT, sigmaT := m.forward(tp, ex, sc)
+	return sc.invert(muT.Row(0)), sc.invertStd(sigmaT.Row(0))
+}
+
+// Predict implements Forecaster.
+func (m *OrgLinear) Predict(ex Example) []float64 {
+	mu, _ := m.PredictDist(ex)
+	return mu
+}
+
+func ones(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 1
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package forecast
+
+import (
+	"math/rand"
+
+	"github.com/sjtucitlab/gfs/internal/nn"
+	"github.com/sjtucitlab/gfs/internal/tensor"
+)
+
+// trainPointModel runs the shared minibatch-Adam MSE loop used by the
+// point-forecast baselines. forward must build the (1×H) normalized
+// prediction for one example on the given tape.
+func trainPointModel(
+	rng *rand.Rand,
+	params []*tensor.Tensor,
+	epochs int, lr float64, batchSize int, clip float64,
+	train []Example, h int,
+	forward func(tp *tensor.Tape, ex Example, sc scaler) *tensor.Tensor,
+) {
+	opt := nn.NewAdam(params, lr)
+	opt.Clip = clip
+	idx := make([]int, len(train))
+	for i := range idx {
+		idx[i] = i
+	}
+	tp := tensor.NewTape()
+	for epoch := 0; epoch < epochs; epoch++ {
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		for b := 0; b < len(idx); b += batchSize {
+			end := b + batchSize
+			if end > len(idx) {
+				end = len(idx)
+			}
+			nn.ZeroGrads(params)
+			for _, i := range idx[b:end] {
+				ex := train[i]
+				sc := newScaler(ex.History)
+				tp.Reset()
+				pred := forward(tp, ex, sc)
+				y := tensor.FromSlice(1, h, sc.apply(ex.Future))
+				tp.Backward(nn.MSE(tp, pred, y))
+			}
+			opt.Step()
+		}
+	}
+}
+
+// seqInput encodes a scaled history as a seq×3 matrix of
+// [value, hour/24, weekday/7] rows, the input layout shared by the
+// attention-family baselines.
+func seqInput(m interface {
+	calHour(ex Example, t int) (hourNorm, weekNorm float64)
+}, ex Example, hist []float64) *tensor.Tensor {
+	l := len(hist)
+	x := tensor.New(l, 3)
+	for t := 0; t < l; t++ {
+		hn, wn := m.calHour(ex, t)
+		x.Set(t, 0, hist[t])
+		x.Set(t, 1, hn)
+		x.Set(t, 2, wn)
+	}
+	return x
+}

@@ -1,0 +1,69 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/sjtucitlab/gfs/internal/tensor"
+)
+
+// Adam is the Adam optimizer (Kingma & Ba) over a fixed parameter
+// set.
+type Adam struct {
+	LR     float64
+	Beta1  float64
+	Beta2  float64
+	Eps    float64
+	Clip   float64 // max gradient L2 norm per step; 0 disables
+	params []*tensor.Tensor
+	m, v   [][]float64
+	step   int
+}
+
+// NewAdam creates an optimizer with standard defaults (β1 = 0.9,
+// β2 = 0.999, ε = 1e-8) for the given parameters.
+func NewAdam(params []*tensor.Tensor, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p.Data))
+		a.v[i] = make([]float64, len(p.Data))
+	}
+	return a
+}
+
+// GradNorm returns the global L2 norm of all parameter gradients.
+func (a *Adam) GradNorm() float64 {
+	s := 0.0
+	for _, p := range a.params {
+		for _, g := range p.Grad {
+			s += g * g
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// Step applies one Adam update using the accumulated gradients, then
+// leaves the gradients untouched (callers usually ZeroGrads next).
+func (a *Adam) Step() {
+	a.step++
+	scale := 1.0
+	if a.Clip > 0 {
+		if n := a.GradNorm(); n > a.Clip {
+			scale = a.Clip / n
+		}
+	}
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.Data {
+			g := p.Grad[j] * scale
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			p.Data[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Package opt provides exact reference solvers at toy scale for
+// validating the PTS heuristics: an exhaustive preemption planner
+// (the single-pod specialization of the MILP in Eq. 12) and an exact
+// feasibility check for whole-card packing. Both are exponential and
+// exist purely as test oracles.
+package opt
+
+import (
+	"math"
+
+	"github.com/sjtucitlab/gfs/internal/cluster"
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/task"
+)
+
+// PreemptionPlan is an exact minimal-cost plan for placing one pod
+// needing `need` whole cards.
+type PreemptionPlan struct {
+	Node    *cluster.Node
+	Victims []*task.Task
+	Cost    float64
+}
+
+// ExactPreemption enumerates every victim subset on every node and
+// returns the plan minimizing the Eq. 19 cost (with the per-node
+// S_k·T normalization PTS uses), or nil when no node can host the pod
+// even after evicting all spot tasks. Exponential in the per-node
+// spot task count; intended for ≤ ~15 tasks per node.
+func ExactPreemption(nodes []*cluster.Node, need, g, f int, beta, elapsedSeconds float64, now simclock.Time) *PreemptionPlan {
+	var best *PreemptionPlan
+	for _, n := range nodes {
+		spot := n.SpotTasks()
+		k := len(spot)
+		gpuSeconds := float64(n.Capacity()) * elapsedSeconds
+		for mask := 0; mask < 1<<k; mask++ {
+			victimSet := make(map[int]bool, k)
+			var victims []*task.Task
+			for i := 0; i < k; i++ {
+				if mask&(1<<i) != 0 {
+					victimSet[spot[i].ID] = true
+					victims = append(victims, spot[i])
+				}
+			}
+			if n.WholeFreeGPUsExcluding(victimSet) < need {
+				continue
+			}
+			cost := cost(g, f, victims, beta, gpuSeconds, now)
+			if best == nil || cost < best.Cost {
+				best = &PreemptionPlan{Node: n, Victims: victims, Cost: cost}
+			}
+		}
+	}
+	return best
+}
+
+// cost mirrors pts.preemptionCost (Eq. 19).
+func cost(g, f int, victims []*task.Task, beta, gpuSeconds float64, now simclock.Time) float64 {
+	t := float64(len(victims))
+	denom := float64(g+f) + t
+	evictTerm := 0.0
+	if denom > 0 {
+		evictTerm = (float64(f) + t) / denom
+	}
+	waste := 0.0
+	for _, v := range victims {
+		waste += v.Waste(now)
+	}
+	if gpuSeconds <= 0 {
+		gpuSeconds = 1
+	}
+	return evictTerm + beta*waste/gpuSeconds
+}
+
+// FeasiblePacking reports whether whole-card requests reqs can be
+// packed onto nodes with the given free-card capacities, by exact
+// backtracking. Used to verify that schedulers find a placement
+// whenever one exists.
+func FeasiblePacking(freeCards []int, reqs []int) bool {
+	caps := append([]int(nil), freeCards...)
+	order := append([]int(nil), reqs...)
+	// Largest first prunes dramatically.
+	sortDesc(order)
+	return packRec(caps, order, 0)
+}
+
+func packRec(caps, reqs []int, i int) bool {
+	if i == len(reqs) {
+		return true
+	}
+	seen := make(map[int]bool)
+	for j := range caps {
+		if caps[j] < reqs[i] || seen[caps[j]] {
+			continue
+		}
+		seen[caps[j]] = true // symmetric capacities are equivalent
+		caps[j] -= reqs[i]
+		if packRec(caps, reqs, i+1) {
+			caps[j] += reqs[i]
+			return true
+		}
+		caps[j] += reqs[i]
+	}
+	return false
+}
+
+func sortDesc(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] > xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// MinVictimCount returns the smallest number of victims that frees
+// `need` cards on node n, or -1 when infeasible; a tighter oracle for
+// victim-count-minimizing baselines.
+func MinVictimCount(n *cluster.Node, need int) int {
+	spot := n.SpotTasks()
+	k := len(spot)
+	best := math.MaxInt
+	for mask := 0; mask < 1<<k; mask++ {
+		victimSet := make(map[int]bool, k)
+		count := 0
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) != 0 {
+				victimSet[spot[i].ID] = true
+				count++
+			}
+		}
+		if count >= best {
+			continue
+		}
+		if n.WholeFreeGPUsExcluding(victimSet) >= need {
+			best = count
+		}
+	}
+	if best == math.MaxInt {
+		return -1
+	}
+	return best
+}

@@ -1,0 +1,140 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/sjtucitlab/gfs/internal/cluster"
+	"github.com/sjtucitlab/gfs/internal/pts"
+	"github.com/sjtucitlab/gfs/internal/sched"
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/task"
+)
+
+func TestFeasiblePacking(t *testing.T) {
+	cases := []struct {
+		caps []int
+		reqs []int
+		want bool
+	}{
+		{[]int{8, 8}, []int{8, 8}, true},
+		{[]int{8, 8}, []int{8, 8, 1}, false},
+		{[]int{4, 4}, []int{8}, false}, // cannot split a pod
+		{[]int{8}, []int{4, 4}, true},
+		{[]int{5, 3}, []int{4, 3, 1}, true},
+		{[]int{5, 3}, []int{4, 4}, false},
+		{nil, []int{1}, false},
+		{[]int{2}, nil, true},
+	}
+	for _, c := range cases {
+		if got := FeasiblePacking(c.caps, c.reqs); got != c.want {
+			t.Fatalf("FeasiblePacking(%v, %v) = %v, want %v", c.caps, c.reqs, got, c.want)
+		}
+	}
+}
+
+func TestMinVictimCount(t *testing.T) {
+	cl := cluster.NewHomogeneous("A100", 1, 8)
+	n := cl.Nodes()[0]
+	mk := func(id int, g float64) *task.Task {
+		tk := task.New(id, task.Spot, 1, g, simclock.Hour)
+		if err := n.PlacePod(tk); err != nil {
+			t.Fatal(err)
+		}
+		return tk
+	}
+	mk(1, 2)
+	mk(2, 2)
+	mk(3, 4)
+	// 0 free; need 4 → single eviction of task 3 suffices.
+	if got := MinVictimCount(n, 4); got != 1 {
+		t.Fatalf("MinVictimCount(4) = %d, want 1", got)
+	}
+	if got := MinVictimCount(n, 8); got != 3 {
+		t.Fatalf("MinVictimCount(8) = %d, want 3", got)
+	}
+	if got := MinVictimCount(n, 9); got != -1 {
+		t.Fatalf("MinVictimCount(9) = %d, want -1", got)
+	}
+}
+
+// The PTS preemption heuristic should stay close to the exhaustive
+// optimum on random small instances (the paper claims near-optimal
+// victim selection from the linear scan).
+func TestPTSPreemptionNearOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	now := simclock.Time(2 * simclock.Hour)
+	for trial := 0; trial < 60; trial++ {
+		cl := cluster.NewHomogeneous("A100", 3, 8)
+		st := sched.NewState(cl)
+		id := 1
+		// Random spot layout.
+		for _, n := range cl.Nodes() {
+			for n.WholeFreeGPUs() > 0 && rng.Float64() < 0.8 {
+				g := []float64{1, 2, 4}[rng.Intn(3)]
+				if int(g) > n.WholeFreeGPUs() {
+					break
+				}
+				tk := task.New(id, task.Spot, 1, g, 4*simclock.Hour)
+				tk.CheckpointEvery = simclock.Duration(10+rng.Intn(50)) * simclock.Minute
+				tk.EnterQueue(0)
+				txn := st.Begin()
+				if err := txn.Place(n, tk); err != nil {
+					t.Fatal(err)
+				}
+				txn.Commit()
+				tk.Start(simclock.Time(rng.Intn(3600)))
+				id++
+			}
+		}
+		need := 1 + rng.Intn(8)
+		gCount, fCount := 50, 10
+		elapsed := now.Sub(0).Seconds()
+
+		exact := ExactPreemption(cl.Nodes(), need, gCount, fCount, 0.5, elapsed, now)
+
+		s := pts.New(pts.DefaultConfig())
+		hp := task.New(1000, task.HP, 1, float64(need), simclock.Hour)
+		hp.EnterQueue(now)
+		ctx := &sched.Context{Now: now, State: st, G: gCount, F: fCount}
+		dec, err := s.Schedule(ctx, hp)
+
+		if exact == nil {
+			if err == nil && len(dec.Victims) > 0 {
+				t.Fatalf("trial %d: heuristic preempted where exact says infeasible", trial)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: heuristic failed where exact found a plan (need %d)", trial, need)
+		}
+		// Heuristic cost uses the node the pod landed on (all nodes
+		// share capacity here).
+		nodeGPUSeconds := 8 * elapsed
+		heurCost := cost(gCount, fCount, dec.Victims, 0.5, nodeGPUSeconds, now)
+		// Within 2× of optimal and never worse by more than a
+		// small absolute slack.
+		if heurCost > exact.Cost*2+0.05 {
+			t.Fatalf("trial %d: heuristic cost %v vs optimal %v", trial, heurCost, exact.Cost)
+		}
+	}
+}
+
+func TestExactPreemptionPrefersNoVictims(t *testing.T) {
+	cl := cluster.NewHomogeneous("A100", 2, 8)
+	n0 := cl.Nodes()[0]
+	spot := task.New(1, task.Spot, 1, 8, simclock.Hour)
+	spot.EnterQueue(0)
+	if err := n0.PlacePod(spot); err != nil {
+		t.Fatal(err)
+	}
+	spot.Start(0)
+	plan := ExactPreemption(cl.Nodes(), 4, 10, 2, 0.5, 3600, simclock.Time(simclock.Hour))
+	if plan == nil {
+		t.Fatal("plan expected")
+	}
+	if len(plan.Victims) != 0 || plan.Node != cl.Nodes()[1] {
+		t.Fatalf("optimal plan should use the free node, got %v victims on node %d",
+			len(plan.Victims), plan.Node.ID)
+	}
+}

@@ -1,0 +1,149 @@
+package org
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/sjtucitlab/gfs/internal/stats"
+	"github.com/sjtucitlab/gfs/internal/timefeat"
+)
+
+func TestSeriesDeterministic(t *testing.T) {
+	cal := timefeat.NewCalendar()
+	a := PresetB().Series(cal, 0, 168, rand.New(rand.NewSource(1)))
+	b := PresetB().Series(cal, 0, 168, rand.New(rand.NewSource(1)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hour %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSeriesNonNegative(t *testing.T) {
+	cal := timefeat.NewCalendar()
+	cfg := Config{Base: 1, Noise: 10} // noise easily drives below 0
+	s := cfg.Series(cal, 0, 500, rand.New(rand.NewSource(2)))
+	for i, v := range s {
+		if v < 0 {
+			t.Fatalf("hour %d negative: %v", i, v)
+		}
+	}
+}
+
+func TestDiurnalPeakWindow(t *testing.T) {
+	cal := timefeat.NewCalendar()
+	cfg := Config{Base: 50, DiurnalAmp: 20, PeakStart: 10, PeakEnd: 24}
+	s := cfg.Series(cal, 0, 24, nil)
+	// Demand at 14:00 should clearly exceed demand at 04:00.
+	if s[14] <= s[4]+10 {
+		t.Fatalf("peak hour %v should exceed off-peak %v by ~amp", s[14], s[4])
+	}
+	// Off-peak early morning is near base.
+	if math.Abs(s[4]-50) > 1 {
+		t.Fatalf("off-peak = %v, want ≈50", s[4])
+	}
+}
+
+func TestWeekendDipMatchesPaperOrgC(t *testing.T) {
+	cal := timefeat.NewCalendar()
+	c := PresetC()
+	s := c.Series(cal, 0, 168, nil) // deterministic: Noise ignored with nil rng
+	// Compare the same hour (14:00) on Wednesday (day 2) and
+	// Saturday (day 5).
+	wed := s[2*24+14]
+	sat := s[5*24+14]
+	wantRatio := 1 - 0.357
+	if math.Abs(sat/wed-wantRatio) > 1e-9 {
+		t.Fatalf("weekend ratio = %v, want %v", sat/wed, wantRatio)
+	}
+}
+
+func TestHolidayDip(t *testing.T) {
+	cal := timefeat.NewCalendar(1) // day 1 is a holiday
+	cfg := Config{Base: 100, HolidayDip: 0.5}
+	s := cfg.Series(cal, 0, 48, nil)
+	if s[24] != 50 || s[0] != 100 {
+		t.Fatalf("holiday dip: day0=%v day1=%v", s[0], s[24])
+	}
+}
+
+func TestBurstsIncreaseMax(t *testing.T) {
+	cal := timefeat.NewCalendar()
+	quiet := Config{Base: 50}
+	bursty := Config{Base: 50, BurstProb: 0.2, BurstAmp: 30}
+	q := quiet.Series(cal, 0, 500, rand.New(rand.NewSource(3)))
+	b := bursty.Series(cal, 0, 500, rand.New(rand.NewSource(3)))
+	if stats.Max(b) <= stats.Max(q) {
+		t.Fatal("bursts should raise the maximum demand")
+	}
+}
+
+func TestTrendDrifts(t *testing.T) {
+	cal := timefeat.NewCalendar()
+	cfg := Config{Base: 10, Trend: 0.1}
+	s := cfg.Series(cal, 0, 100, nil)
+	if s[99] <= s[0] {
+		t.Fatal("positive trend should drift upward")
+	}
+	if math.Abs((s[99]-s[0])-9.9) > 1e-9 {
+		t.Fatalf("drift = %v, want 9.9", s[99]-s[0])
+	}
+}
+
+func TestPresetBRange(t *testing.T) {
+	cal := timefeat.NewCalendar()
+	s := PresetB().Series(cal, 0, 168, rand.New(rand.NewSource(4)))
+	lo, hi := stats.Min(s), stats.Max(s)
+	// Fig. 4: Organization B fluctuates roughly between 67 and 90.
+	if lo < 55 || hi > 105 {
+		t.Fatalf("PresetB range [%v, %v] implausible vs paper's [67, 90]", lo, hi)
+	}
+	if hi-lo < 10 {
+		t.Fatalf("PresetB should fluctuate strongly, range = %v", hi-lo)
+	}
+}
+
+func TestPanelAlignedAndIndependent(t *testing.T) {
+	cal := timefeat.NewCalendar()
+	p := Panel(Presets(), cal, 0, 168, 99)
+	if len(p) != 4 {
+		t.Fatalf("panel size = %d, want 4", len(p))
+	}
+	for name, s := range p {
+		if len(s) != 168 {
+			t.Fatalf("%s length = %d, want 168", name, len(s))
+		}
+	}
+	// Same seed regenerates identically.
+	p2 := Panel(Presets(), cal, 0, 168, 99)
+	for name := range p {
+		for i := range p[name] {
+			if p[name][i] != p2[name][i] {
+				t.Fatalf("%s not deterministic at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestStartHourOffsetsPhase(t *testing.T) {
+	cal := timefeat.NewCalendar()
+	cfg := Config{Base: 50, DiurnalAmp: 20, PeakStart: 10, PeakEnd: 24}
+	s0 := cfg.Series(cal, 0, 24, nil)
+	s12 := cfg.Series(cal, 12, 24, nil)
+	if s12[2] != s0[14] {
+		t.Fatalf("offset series should align: %v vs %v", s12[2], s0[14])
+	}
+}
+
+func TestPeakShapeBounds(t *testing.T) {
+	for h := 0; h < 24; h++ {
+		v := peakShape(h, 10, 24)
+		if v < 0 || v > 1 {
+			t.Fatalf("peakShape(%d) = %v out of [0,1]", h, v)
+		}
+	}
+	if peakShape(5, 10, 10) != 0 {
+		t.Fatal("degenerate window should be 0")
+	}
+}

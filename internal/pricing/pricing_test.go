@@ -1,0 +1,63 @@
+package pricing
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestMonthlyBenefitFormula(t *testing.T) {
+	tbl := Table{"X": 2.0}
+	deltas := []PoolDelta{{Model: "X", GPUs: 100, RateBefore: 0.5, RateAfter: 0.6}}
+	got := MonthlyBenefit(tbl, deltas, 0.5)
+	want := 100 * 0.1 * 2.0 * HoursPerMonth * 0.5
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("benefit = %v, want %v", got, want)
+	}
+}
+
+func TestMonthlyBenefitDefaultMargin(t *testing.T) {
+	tbl := Table{"X": 1.0}
+	deltas := []PoolDelta{{Model: "X", GPUs: 10, RateBefore: 0, RateAfter: 1}}
+	got := MonthlyBenefit(tbl, deltas, 0)
+	want := 10 * 1.0 * HoursPerMonth * DefaultSpotMargin
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("benefit = %v, want %v", got, want)
+	}
+}
+
+func TestPaperDeltasLandNearPaperFigure(t *testing.T) {
+	got := MonthlyBenefit(DefaultTable(), PaperDeltas(), 0)
+	// The paper reports ≈$459,715/month; our list prices and spot
+	// margin should land in the same ballpark (±30%).
+	if got < 459715*0.7 || got > 459715*1.3 {
+		t.Fatalf("monthly benefit $%.0f too far from the paper's $459,715", got)
+	}
+}
+
+func TestImprovementsMatchFig9(t *testing.T) {
+	d := PaperDeltas()
+	if math.Abs(d[0].Improvement()-0.0694) > 1e-9 {
+		t.Fatalf("A10 Δ = %v, want 6.94%%", d[0].Improvement())
+	}
+	if math.Abs(d[1].Improvement()-0.1403) > 1e-9 {
+		t.Fatalf("A100 Δ = %v, want 14.03%%", d[1].Improvement())
+	}
+	if math.Abs(d[2].Improvement()-0.2279) > 1e-9 {
+		t.Fatalf("A800 Δ = %v, want 22.79%%", d[2].Improvement())
+	}
+}
+
+func TestUnknownModelPricesZero(t *testing.T) {
+	deltas := []PoolDelta{{Model: "unknown", GPUs: 100, RateBefore: 0, RateAfter: 1}}
+	if got := MonthlyBenefit(DefaultTable(), deltas, 0.5); got != 0 {
+		t.Fatalf("unknown model should contribute 0, got %v", got)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	out := Format(DefaultTable(), PaperDeltas(), 0)
+	if !strings.Contains(out, "A100") || !strings.Contains(out, "Total: $") {
+		t.Fatalf("format output incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,494 @@
+package sched
+
+import (
+	"math"
+	"sort"
+
+	"github.com/sjtucitlab/gfs/internal/cluster"
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/stats"
+	"github.com/sjtucitlab/gfs/internal/task"
+)
+
+// SimConfig configures one simulation run.
+type SimConfig struct {
+	Cluster   *cluster.Cluster
+	Scheduler Scheduler
+	// Quota is the spot quota policy; nil means unlimited.
+	Quota QuotaPolicy
+	// QuotaInterval is the quota update period (Table 4: 300 s).
+	QuotaInterval simclock.Duration
+	// QuotaWindow is the lookback for the eviction rate fed to the
+	// quota policy (defaults to 1 h).
+	QuotaWindow simclock.Duration
+	// Grace is the preemption grace period (30 s in production).
+	Grace simclock.Duration
+	// MaxFailuresPerPass bounds wasted work scanning a long
+	// pending queue; once this many placement attempts fail in one
+	// pass, the rest wait for the next event.
+	MaxFailuresPerPass int
+	// IdleTimeout stops the simulation when nothing has progressed
+	// for this long (defaults to 48 h) so permanently unplaceable
+	// tasks cannot hang the run.
+	IdleTimeout simclock.Duration
+	// InitialOrgDemand seeds the per-organization demand history
+	// fed to the quota policy, avoiding a forecast cold start. Each
+	// series is hourly demand ending at the simulation epoch.
+	InitialOrgDemand map[string][]float64
+}
+
+// DefaultSimConfig fills in the paper's settings for a given cluster
+// and scheduler.
+func DefaultSimConfig(cl *cluster.Cluster, s Scheduler) SimConfig {
+	return SimConfig{
+		Cluster:            cl,
+		Scheduler:          s,
+		QuotaInterval:      300 * simclock.Second,
+		QuotaWindow:        simclock.Hour,
+		Grace:              30 * simclock.Second,
+		MaxFailuresPerPass: 25,
+		IdleTimeout:        48 * simclock.Hour,
+	}
+}
+
+// Victim describes an evicted spot task and where its pods were.
+type Victim struct {
+	Task *task.Task
+	Locs []NodePods
+}
+
+// Result summarizes one simulation run.
+type Result struct {
+	SchedulerName string
+	Tasks         []*task.Task
+	HP, Spot      stats.TaskMetrics
+	// AllocationRate is the time-averaged GPU allocation rate.
+	AllocationRate float64
+	// Samples traces the allocation rate over time.
+	Samples []stats.AllocationSample
+	// WastedGPUSeconds accumulates Eq. 17 waste over all
+	// evictions.
+	WastedGPUSeconds float64
+	// UnfinishedHP and UnfinishedSpot count tasks never completed.
+	UnfinishedHP, UnfinishedSpot int
+	// End is the simulated time of the last event.
+	End simclock.Time
+	// FinalQuota is the spot quota at simulation end.
+	FinalQuota float64
+}
+
+// RuntimeInflater is an optional scheduler extension that adds
+// runtime overhead to a placement (lease switching in Chronus).
+type RuntimeInflater interface {
+	InflateRuntime(tk *task.Task) simclock.Duration
+}
+
+type arrivalEvent struct{ tk *task.Task }
+
+type finishEvent struct {
+	tk    *task.Task
+	epoch int
+}
+
+type tickEvent struct{}
+
+// Simulator is the discrete-event driver.
+type Simulator struct {
+	cfg     SimConfig
+	queue   simclock.Queue
+	state   *State
+	pending []*task.Task
+	epochs  map[int]int
+	now     simclock.Time
+
+	spotQuota    float64
+	gCount       int
+	fCount       int
+	waste        float64
+	evWindow     *stats.EvictionWindow
+	alloc        *stats.AllocationTracker
+	tasks        []*task.Task
+	orgDemand    map[string][]float64
+	hourAccum    map[string]float64
+	hourSamples  int
+	lastHour     int
+	lastProgress simclock.Time
+	recentQueues []queueObs
+	running      int
+}
+
+type queueObs struct {
+	at  simclock.Time
+	dur simclock.Duration
+}
+
+// taskShape keys placement-feasibility: two pending tasks with the
+// same shape either both fit or both fail against the same cluster
+// state.
+type taskShape struct {
+	typ        task.Type
+	pods       int
+	gpusPerPod float64
+	model      string
+}
+
+func shapeOfTask(tk *task.Task) taskShape {
+	return taskShape{typ: tk.Type, pods: tk.Pods, gpusPerPod: tk.GPUsPerPod, model: tk.GPUModel}
+}
+
+// Run executes the simulation over the given trace and returns the
+// metrics.
+func Run(cfg SimConfig, tasks []*task.Task) *Result {
+	if cfg.QuotaInterval <= 0 {
+		cfg.QuotaInterval = 300 * simclock.Second
+	}
+	if cfg.QuotaWindow <= 0 {
+		cfg.QuotaWindow = simclock.Hour
+	}
+	if cfg.MaxFailuresPerPass <= 0 {
+		cfg.MaxFailuresPerPass = 25
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 48 * simclock.Hour
+	}
+	s := &Simulator{
+		cfg:       cfg,
+		state:     NewState(cfg.Cluster),
+		epochs:    make(map[int]int),
+		spotQuota: math.Inf(1),
+		evWindow:  stats.NewEvictionWindow(cfg.QuotaWindow),
+		alloc:     stats.NewAllocationTracker(cfg.Cluster.TotalGPUs("")),
+		tasks:     tasks,
+		orgDemand: make(map[string][]float64),
+		hourAccum: make(map[string]float64),
+		lastHour:  -1,
+	}
+	for org, hist := range cfg.InitialOrgDemand {
+		s.orgDemand[org] = append([]float64(nil), hist...)
+	}
+	for _, tk := range tasks {
+		s.queue.Push(tk.Submit, arrivalEvent{tk: tk})
+	}
+	if len(tasks) > 0 {
+		s.now = tasks[0].Submit
+		s.updateQuota() // initial quota before the first pass
+		s.queue.Push(tasks[0].Submit.Add(cfg.QuotaInterval), tickEvent{})
+	}
+	s.loop()
+	return s.result()
+}
+
+func (s *Simulator) loop() {
+	for {
+		ev := s.queue.Pop()
+		if ev == nil {
+			break
+		}
+		s.now = ev.At
+		scheduleNeeded := s.handle(ev)
+		// Drain events sharing this timestamp before scheduling.
+		for {
+			next := s.queue.Peek()
+			if next == nil || next.At != s.now {
+				break
+			}
+			if s.handle(s.queue.Pop()) {
+				scheduleNeeded = true
+			}
+		}
+		if scheduleNeeded {
+			s.schedulePass()
+		}
+	}
+	// Close the books: observe final allocation.
+	s.alloc.Observe(s.now, s.state.Cluster.UsedGPUs(""))
+}
+
+// handle processes one event and reports whether a scheduling pass
+// should follow.
+func (s *Simulator) handle(ev *simclock.Event) bool {
+	switch e := ev.Value.(type) {
+	case arrivalEvent:
+		e.tk.EnterQueue(s.now)
+		s.insertPending(e.tk)
+		s.lastProgress = s.now
+		return true
+	case finishEvent:
+		if s.epochs[e.tk.ID] != e.epoch || e.tk.State != task.Running {
+			return false // stale: the run was preempted
+		}
+		s.state.ReleaseAll(e.tk)
+		e.tk.Finish(s.now)
+		s.running--
+		if e.tk.Type == task.Spot {
+			s.gCount++
+			s.evWindow.Record(s.now, false)
+		}
+		s.alloc.Observe(s.now, s.state.Cluster.UsedGPUs(""))
+		s.lastProgress = s.now
+		return true
+	case tickEvent:
+		s.recordDemand()
+		s.updateQuota()
+		// Keep ticking while there is anything left to drive.
+		active := s.queue.Len() > 0 || s.running > 0
+		stalled := len(s.pending) > 0 && s.now.Sub(s.lastProgress) < s.cfg.IdleTimeout
+		if active || stalled {
+			s.queue.Push(s.now.Add(s.cfg.QuotaInterval), tickEvent{})
+		}
+		return true
+	}
+	return false
+}
+
+// recordDemand samples per-org HP usage at every tick and appends the
+// hourly average to each org's series when the hour rolls over.
+// Averaging smooths Poisson arrival bursts into the hourly usage
+// signal production telemetry would report.
+func (s *Simulator) recordDemand() {
+	// Close the previous hour before sampling the current tick.
+	hour := s.now.HourIndex()
+	if hour != s.lastHour {
+		if s.lastHour >= 0 && s.hourSamples > 0 {
+			n := float64(s.hourSamples)
+			seen := make(map[string]bool, len(s.hourAccum))
+			for org, sum := range s.hourAccum {
+				s.orgDemand[org] = append(s.orgDemand[org], sum/n)
+				seen[org] = true
+			}
+			// Orgs with no samples this hour still advance
+			// their series.
+			for org := range s.orgDemand {
+				if !seen[org] {
+					s.orgDemand[org] = append(s.orgDemand[org], 0)
+				}
+			}
+		}
+		s.lastHour = hour
+		s.hourAccum = make(map[string]float64)
+		s.hourSamples = 0
+	}
+
+	for _, tk := range s.tasks {
+		if tk.Type != task.HP {
+			continue
+		}
+		switch tk.State {
+		case task.Running:
+			s.hourAccum[tk.Org] += tk.TotalGPUs()
+		case task.Pending:
+			if tk.Submit <= s.now {
+				s.hourAccum[tk.Org] += tk.TotalGPUs()
+			}
+		}
+	}
+	s.hourSamples++
+}
+
+func (s *Simulator) updateQuota() {
+	if s.cfg.Quota == nil {
+		return
+	}
+	ctx := &QuotaContext{
+		Now:            s.now,
+		Cluster:        s.state.Cluster,
+		OrgDemand:      s.orgDemand,
+		HourIndex:      s.now.HourIndex(),
+		EvictionRate:   s.evWindow.Rate(s.now),
+		MaxSpotQueue:   s.maxSpotQueue(),
+		SpotGuaranteed: s.state.Cluster.SpotGPUs(""),
+	}
+	s.spotQuota = s.cfg.Quota.Quota(ctx)
+}
+
+// maxSpotQueue is the worst spot queuing experience over the recent
+// window: currently pending waits plus queue segments of recent
+// starts.
+func (s *Simulator) maxSpotQueue() simclock.Duration {
+	var maxQ simclock.Duration
+	for _, tk := range s.pending {
+		if tk.Type == task.Spot {
+			if w := s.now.Sub(tk.QueuedSince); w > maxQ {
+				maxQ = w
+			}
+		}
+	}
+	cutoff := s.now.Add(-s.cfg.QuotaWindow)
+	kept := s.recentQueues[:0]
+	for _, o := range s.recentQueues {
+		if o.at >= cutoff {
+			kept = append(kept, o)
+			if o.dur > maxQ {
+				maxQ = o.dur
+			}
+		}
+	}
+	s.recentQueues = kept
+	return maxQ
+}
+
+// insertPending adds tk to the pending queue, keeping it ordered by
+// the scheduler's Less (insertion after equals preserves stability).
+func (s *Simulator) insertPending(tk *task.Task) {
+	i := sort.Search(len(s.pending), func(i int) bool {
+		return s.cfg.Scheduler.Less(tk, s.pending[i])
+	})
+	s.pending = append(s.pending, nil)
+	copy(s.pending[i+1:], s.pending[i:])
+	s.pending[i] = tk
+}
+
+func (s *Simulator) schedulePass() {
+	if len(s.pending) == 0 {
+		return
+	}
+	snapshot := s.pending
+	// Victims evicted during the pass land in s.pending (sorted);
+	// kept tasks accumulate separately and the two merge after.
+	s.pending = nil
+	ctx := &Context{
+		Now:       s.now,
+		Start:     0,
+		State:     s.state,
+		SpotQuota: s.spotQuota,
+		G:         s.gCount,
+		F:         s.fCount,
+	}
+	// Admission ramp: quota policies may bound how much new spot
+	// capacity one pass admits.
+	admitLimit := math.Inf(1)
+	if lim, ok := s.cfg.Quota.(AdmissionLimiter); ok {
+		if l := lim.MaxAdmitPerPass(s.state.Cluster.TotalGPUs("")); l > 0 {
+			admitLimit = l
+		}
+	}
+	admitted := 0.0
+
+	var kept []*task.Task
+	failures := 0
+	// Placement failure is deterministic in the task's shape while
+	// the cluster state is unchanged, so a shape that failed once
+	// this pass is skipped until a success mutates the state. This
+	// lets small tasks backfill past blocked large ones without
+	// rescanning the cluster for every queue entry.
+	failedShapes := make(map[taskShape]bool)
+	for _, tk := range snapshot {
+		if tk.State != task.Pending {
+			continue
+		}
+		shape := shapeOfTask(tk)
+		if failures >= s.cfg.MaxFailuresPerPass || failedShapes[shape] {
+			kept = append(kept, tk)
+			continue
+		}
+		if tk.Type == task.Spot {
+			if admitted > 0 && admitted+tk.TotalGPUs() > admitLimit {
+				kept = append(kept, tk)
+				continue // ramp-deferred, not a placement failure
+			}
+			if s.state.Cluster.SpotGPUs("")+tk.TotalGPUs() > s.spotQuota {
+				kept = append(kept, tk)
+				failedShapes[shape] = true
+				failures++
+				continue
+			}
+		}
+		dec, err := s.cfg.Scheduler.Schedule(ctx, tk)
+		if err != nil {
+			kept = append(kept, tk)
+			failedShapes[shape] = true
+			failures++
+			continue
+		}
+		if tk.Type == task.Spot {
+			admitted += tk.TotalGPUs()
+		}
+		s.apply(tk, dec)
+		clear(failedShapes)
+		ctx.G, ctx.F = s.gCount, s.fCount
+	}
+	s.mergePending(kept)
+}
+
+// mergePending merges the kept tasks (already ordered) with the
+// victims inserted during the pass (also ordered).
+func (s *Simulator) mergePending(kept []*task.Task) {
+	victims := s.pending
+	if len(victims) == 0 {
+		s.pending = kept
+		return
+	}
+	merged := make([]*task.Task, 0, len(kept)+len(victims))
+	i, j := 0, 0
+	for i < len(kept) && j < len(victims) {
+		if s.cfg.Scheduler.Less(victims[j], kept[i]) {
+			merged = append(merged, victims[j])
+			j++
+		} else {
+			merged = append(merged, kept[i])
+			i++
+		}
+	}
+	merged = append(merged, kept[i:]...)
+	merged = append(merged, victims[j:]...)
+	s.pending = merged
+}
+
+// apply performs the task-lifecycle side effects of a committed
+// decision: victim eviction bookkeeping and the task start.
+func (s *Simulator) apply(tk *task.Task, dec *Decision) {
+	victimLocs := dec.VictimLocs
+	for i, v := range dec.Victims {
+		s.waste += v.Evict(s.now)
+		s.epochs[v.ID]++
+		s.fCount++
+		s.running--
+		s.evWindow.Record(s.now, true)
+		if i < len(victimLocs) {
+			for _, np := range victimLocs[i] {
+				np.Node.RecordEviction(s.now)
+			}
+		}
+		s.insertPending(v)
+	}
+	start := s.now
+	if len(dec.Victims) > 0 && s.cfg.Grace > 0 {
+		start = start.Add(s.cfg.Grace)
+	}
+	if tk.Type == task.Spot {
+		s.recentQueues = append(s.recentQueues, queueObs{at: s.now, dur: start.Sub(tk.QueuedSince)})
+	}
+	end := tk.Start(start)
+	if infl, ok := s.cfg.Scheduler.(RuntimeInflater); ok {
+		end = end.Add(infl.InflateRuntime(tk))
+	}
+	s.epochs[tk.ID]++
+	s.running++
+	s.queue.Push(end, finishEvent{tk: tk, epoch: s.epochs[tk.ID]})
+	s.alloc.Observe(s.now, s.state.Cluster.UsedGPUs(""))
+	s.lastProgress = s.now
+}
+
+func (s *Simulator) result() *Result {
+	r := &Result{
+		SchedulerName:    s.cfg.Scheduler.Name(),
+		Tasks:            s.tasks,
+		HP:               stats.Summarize(s.tasks, task.HP),
+		Spot:             stats.Summarize(s.tasks, task.Spot),
+		AllocationRate:   s.alloc.Rate(),
+		Samples:          s.alloc.Samples,
+		WastedGPUSeconds: s.waste,
+		End:              s.now,
+		FinalQuota:       s.spotQuota,
+	}
+	for _, tk := range s.tasks {
+		if tk.State != task.Finished {
+			if tk.Type == task.HP {
+				r.UnfinishedHP++
+			} else {
+				r.UnfinishedSpot++
+			}
+		}
+	}
+	return r
+}

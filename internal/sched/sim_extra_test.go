@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"github.com/sjtucitlab/gfs/internal/cluster"
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/task"
+)
+
+// rampQuota is an unlimited quota with an admission ramp.
+type rampQuota struct{ perPass float64 }
+
+func (rampQuota) Quota(*QuotaContext) float64 { return math.Inf(1) }
+
+func (r rampQuota) MaxAdmitPerPass(capacity float64) float64 { return r.perPass }
+
+func TestAdmissionRampDefersSecondTask(t *testing.T) {
+	cl := cluster.NewHomogeneous("A100", 2, 8)
+	tasks := []*task.Task{
+		mkTask(1, task.Spot, 1, 8, 30*simclock.Minute, 0),
+		mkTask(2, task.Spot, 1, 8, 30*simclock.Minute, 0),
+	}
+	cfg := DefaultSimConfig(cl, &firstFit{})
+	cfg.Quota = rampQuota{perPass: 8} // one 8-GPU admission per pass
+	res := Run(cfg, tasks)
+	if res.UnfinishedSpot != 0 {
+		t.Fatal("ramp must defer, not starve")
+	}
+	if tasks[0].FirstStart != 0 {
+		t.Fatal("first task admitted immediately")
+	}
+	// Second task waits for the next pass (the 300 s quota tick).
+	if tasks[1].FirstStart == 0 {
+		t.Fatal("second task should be ramp-deferred")
+	}
+}
+
+func TestAdmissionRampNeverDeadlocksLargeTask(t *testing.T) {
+	// A single task far larger than the per-pass ramp must still be
+	// admitted (first admission always proceeds).
+	cl := cluster.NewHomogeneous("A100", 2, 8)
+	tasks := []*task.Task{mkTask(1, task.Spot, 2, 8, 30*simclock.Minute, 0)}
+	cfg := DefaultSimConfig(cl, &firstFit{})
+	cfg.Quota = rampQuota{perPass: 1}
+	res := Run(cfg, tasks)
+	if res.UnfinishedSpot != 0 {
+		t.Fatal("oversized-vs-ramp task must not deadlock")
+	}
+	if tasks[0].FirstStart != 0 {
+		t.Fatal("first admission of a pass always proceeds")
+	}
+}
+
+func TestShapeCacheAllowsBackfill(t *testing.T) {
+	// Two identical oversized tasks ahead of a small task, with a
+	// failure budget of 2: the duplicate shape must be skipped
+	// without consuming budget so the small task still gets tried.
+	cl := cluster.NewHomogeneous("A100", 1, 8)
+	blockerA := mkTask(1, task.Spot, 2, 8, simclock.Hour, 0) // needs 2 nodes
+	blockerB := mkTask(2, task.Spot, 2, 8, simclock.Hour, 0) // same shape
+	small := mkTask(3, task.Spot, 1, 1, 30*simclock.Minute, 0)
+	cfg := DefaultSimConfig(cl, &firstFit{})
+	cfg.MaxFailuresPerPass = 2
+	cfg.IdleTimeout = simclock.Hour
+	res := Run(cfg, []*task.Task{blockerA, blockerB, small})
+	if small.State != task.Finished {
+		t.Fatal("small task should backfill past the blocked gang shapes")
+	}
+	if res.UnfinishedSpot != 2 {
+		t.Fatalf("unfinished = %d, want the 2 oversized tasks", res.UnfinishedSpot)
+	}
+}
+
+func TestInitialOrgDemandSeedsQuotaContext(t *testing.T) {
+	cl := cluster.NewHomogeneous("A100", 1, 8)
+	tasks := []*task.Task{mkTask(1, task.HP, 1, 1, 20*simclock.Minute, 0)}
+	var got map[string][]float64
+	cfg := DefaultSimConfig(cl, &firstFit{})
+	cfg.InitialOrgDemand = map[string][]float64{"OrgZ": {1, 2, 3}}
+	cfg.Quota = quotaFunc(func(ctx *QuotaContext) float64 {
+		got = ctx.OrgDemand
+		return math.Inf(1)
+	})
+	Run(cfg, tasks)
+	if len(got["OrgZ"]) < 3 || got["OrgZ"][0] != 1 || got["OrgZ"][2] != 3 {
+		t.Fatalf("seeded history missing: %v", got["OrgZ"])
+	}
+}
+
+func TestHourlyDemandIsAveraged(t *testing.T) {
+	// One HP task running 30 of 60 minutes at 8 GPUs: the hourly
+	// average sampled every 300 s should land well below the 8-GPU
+	// instantaneous peak.
+	cl := cluster.NewHomogeneous("A100", 1, 8)
+	tk := mkTask(1, task.HP, 1, 8, 30*simclock.Minute, 0)
+	tk.Org = "OrgY"
+	// A second arrival past the hour boundary keeps the simulation
+	// (and its tick stream) alive long enough to close hour 0.
+	later := mkTask(2, task.HP, 1, 1, 10*simclock.Minute, simclock.Time(70*simclock.Minute))
+	later.Org = "OrgY"
+	var series []float64
+	cfg := DefaultSimConfig(cl, &firstFit{})
+	cfg.Quota = quotaFunc(func(ctx *QuotaContext) float64 {
+		if s := ctx.OrgDemand["OrgY"]; len(s) > 0 {
+			series = append([]float64(nil), s...)
+		}
+		return math.Inf(1)
+	})
+	Run(cfg, []*task.Task{tk, later})
+	if len(series) == 0 {
+		t.Fatal("no demand recorded")
+	}
+	if series[0] <= 0 || series[0] >= 8 {
+		t.Fatalf("hour-0 average = %v, want within (0, 8)", series[0])
+	}
+}

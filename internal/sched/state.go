@@ -1,0 +1,177 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/sjtucitlab/gfs/internal/cluster"
+	"github.com/sjtucitlab/gfs/internal/task"
+)
+
+// State couples the cluster with a placement registry mapping each
+// running task to the nodes hosting its pods. Schedulers mutate it
+// only through transactions so failed multi-pod (gang) placements
+// roll back cleanly.
+type State struct {
+	Cluster *cluster.Cluster
+	locs    map[int]map[*cluster.Node]int // taskID → node → pod count
+}
+
+// NewState wraps a cluster.
+func NewState(cl *cluster.Cluster) *State {
+	return &State{Cluster: cl, locs: make(map[int]map[*cluster.Node]int)}
+}
+
+// NodesOf returns the nodes hosting tk and the pod count on each,
+// sorted by node ID.
+func (s *State) NodesOf(tk *task.Task) []NodePods {
+	m := s.locs[tk.ID]
+	out := make([]NodePods, 0, len(m))
+	for n, pods := range m {
+		out = append(out, NodePods{Node: n, Pods: pods})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node.ID < out[j].Node.ID })
+	return out
+}
+
+// NodePods pairs a node with a pod count.
+type NodePods struct {
+	Node *cluster.Node
+	Pods int
+}
+
+// place puts one pod of tk on n and records the location.
+func (s *State) place(n *cluster.Node, tk *task.Task) error {
+	if err := n.PlacePod(tk); err != nil {
+		return err
+	}
+	m := s.locs[tk.ID]
+	if m == nil {
+		m = make(map[*cluster.Node]int)
+		s.locs[tk.ID] = m
+	}
+	m[n]++
+	return nil
+}
+
+// releaseAll frees every pod of tk across the cluster.
+func (s *State) releaseAll(tk *task.Task) {
+	for n := range s.locs[tk.ID] {
+		n.ReleaseTask(tk)
+	}
+	delete(s.locs, tk.ID)
+}
+
+// ReleaseAll is the driver-facing release used when a task finishes.
+func (s *State) ReleaseAll(tk *task.Task) { s.releaseAll(tk) }
+
+// Running reports whether tk currently holds GPUs.
+func (s *State) Running(tk *task.Task) bool { return len(s.locs[tk.ID]) > 0 }
+
+// Txn is an undoable set of placements and evictions. A scheduler
+// builds its decision inside a transaction; Rollback restores the
+// exact capacity state, Commit finalizes it.
+type Txn struct {
+	state   *State
+	placed  []placeRec
+	evicted []evictRec
+	done    bool
+}
+
+type placeRec struct {
+	node *cluster.Node
+	tk   *task.Task
+}
+
+type evictRec struct {
+	tk   *task.Task
+	locs []NodePods
+}
+
+// Begin opens a transaction on the state.
+func (s *State) Begin() *Txn { return &Txn{state: s} }
+
+// Place tentatively puts one pod of tk on n.
+func (t *Txn) Place(n *cluster.Node, tk *task.Task) error {
+	t.mustBeOpen()
+	if err := t.state.place(n, tk); err != nil {
+		return err
+	}
+	t.placed = append(t.placed, placeRec{node: n, tk: tk})
+	return nil
+}
+
+// Evict tentatively removes victim from all its nodes, freeing the
+// capacity for subsequent Place calls.
+func (t *Txn) Evict(victim *task.Task) {
+	t.mustBeOpen()
+	locs := t.state.NodesOf(victim)
+	if len(locs) == 0 {
+		return
+	}
+	t.state.releaseAll(victim)
+	t.evicted = append(t.evicted, evictRec{tk: victim, locs: locs})
+}
+
+// Victims returns the tasks evicted so far, in eviction order.
+func (t *Txn) Victims() []*task.Task {
+	out := make([]*task.Task, len(t.evicted))
+	for i, e := range t.evicted {
+		out[i] = e.tk
+	}
+	return out
+}
+
+// PodNodes returns the node of each placed pod, in placement order.
+func (t *Txn) PodNodes() []*cluster.Node {
+	out := make([]*cluster.Node, len(t.placed))
+	for i, p := range t.placed {
+		out[i] = p.node
+	}
+	return out
+}
+
+// Rollback undoes all placements and re-places evicted victims.
+// Capacity is restored exactly; GPU indices may differ, which is
+// immaterial to the simulation.
+func (t *Txn) Rollback() {
+	t.mustBeOpen()
+	t.done = true
+	// Release placed tasks (distinct tasks once each).
+	seen := map[int]bool{}
+	for _, p := range t.placed {
+		if !seen[p.tk.ID] {
+			seen[p.tk.ID] = true
+			t.state.releaseAll(p.tk)
+		}
+	}
+	// Restore victims in reverse order.
+	for i := len(t.evicted) - 1; i >= 0; i-- {
+		e := t.evicted[i]
+		for _, np := range e.locs {
+			for k := 0; k < np.Pods; k++ {
+				if err := t.state.place(np.Node, e.tk); err != nil {
+					// Cannot happen: we just freed this capacity.
+					panic(fmt.Sprintf("sched: rollback re-place failed: %v", err))
+				}
+			}
+		}
+	}
+}
+
+// Commit finalizes the transaction and returns the decision.
+func (t *Txn) Commit() *Decision {
+	t.mustBeOpen()
+	t.done = true
+	locs := make([][]NodePods, len(t.evicted))
+	for i, e := range t.evicted {
+		locs[i] = e.locs
+	}
+	return &Decision{PodNodes: t.PodNodes(), Victims: t.Victims(), VictimLocs: locs}
+}
+
+func (t *Txn) mustBeOpen() {
+	if t.done {
+		panic("sched: transaction already closed")
+	}
+}

@@ -1,0 +1,140 @@
+// Package simclock provides virtual time and a deterministic
+// discrete-event queue for the cluster simulator.
+//
+// Simulation time is measured in whole seconds from an arbitrary
+// epoch (the start of the simulated trace). Events scheduled for the
+// same instant are delivered in insertion order, which makes every
+// simulation run reproducible bit-for-bit.
+package simclock
+
+import "container/heap"
+
+// Time is a point in simulated time, in seconds since the simulation
+// epoch.
+type Time int64
+
+// Duration is a span of simulated time in seconds.
+type Duration int64
+
+// Common durations.
+const (
+	Second Duration = 1
+	Minute Duration = 60 * Second
+	Hour   Duration = 60 * Minute
+	Day    Duration = 24 * Hour
+	Week   Duration = 7 * Day
+)
+
+// Add returns t shifted forward by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration elapsed from u to t.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Hours converts d to fractional hours.
+func (d Duration) Hours() float64 { return float64(d) / float64(Hour) }
+
+// Seconds converts d to fractional seconds.
+func (d Duration) Seconds() float64 { return float64(d) }
+
+// HourOfDay returns the hour-of-day [0,24) at t, assuming the epoch
+// is midnight on the first simulated day.
+func (t Time) HourOfDay() int { return int((t / Time(Hour)) % 24) }
+
+// DayIndex returns the zero-based day number at t.
+func (t Time) DayIndex() int { return int(t / Time(Day)) }
+
+// Weekday returns the zero-based weekday at t (0 = Monday), assuming
+// the epoch falls on a Monday.
+func (t Time) Weekday() int { return t.DayIndex() % 7 }
+
+// HourIndex returns the zero-based hour number since the epoch.
+func (t Time) HourIndex() int { return int(t / Time(Hour)) }
+
+// Event is a scheduled callback or payload in the event queue.
+type Event struct {
+	At    Time
+	Value any
+
+	seq uint64
+	idx int
+}
+
+// Queue is a min-heap of events ordered by (At, insertion sequence).
+// The zero value is an empty queue ready to use.
+type Queue struct {
+	h   eventHeap
+	seq uint64
+}
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// Push schedules value for delivery at time at.
+func (q *Queue) Push(at Time, value any) *Event {
+	e := &Event{At: at, Value: value, seq: q.seq}
+	q.seq++
+	heap.Push(&q.h, e)
+	return e
+}
+
+// Peek returns the next event without removing it, or nil if the
+// queue is empty.
+func (q *Queue) Peek() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return q.h[0]
+}
+
+// Pop removes and returns the next event, or nil if the queue is
+// empty.
+func (q *Queue) Pop() *Event {
+	if len(q.h) == 0 {
+		return nil
+	}
+	return heap.Pop(&q.h).(*Event)
+}
+
+// Remove cancels a previously pushed event. It reports whether the
+// event was still pending.
+func (q *Queue) Remove(e *Event) bool {
+	if e == nil || e.idx < 0 || e.idx >= len(q.h) || q.h[e.idx] != e {
+		return false
+	}
+	heap.Remove(&q.h, e.idx)
+	return true
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}

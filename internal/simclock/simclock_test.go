@@ -1,0 +1,173 @@
+package simclock
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeArithmetic(t *testing.T) {
+	var epoch Time
+	noon := epoch.Add(12 * Hour)
+	if noon.HourOfDay() != 12 {
+		t.Fatalf("HourOfDay = %d, want 12", noon.HourOfDay())
+	}
+	if got := noon.Sub(epoch); got != 12*Hour {
+		t.Fatalf("Sub = %d, want %d", got, 12*Hour)
+	}
+	if (3 * Hour).Hours() != 3 {
+		t.Fatalf("Hours = %v, want 3", (3 * Hour).Hours())
+	}
+}
+
+func TestWeekdayAssumesMondayEpoch(t *testing.T) {
+	var epoch Time
+	if epoch.Weekday() != 0 {
+		t.Fatalf("epoch weekday = %d, want 0 (Monday)", epoch.Weekday())
+	}
+	sat := epoch.Add(5 * Day)
+	if sat.Weekday() != 5 {
+		t.Fatalf("day5 weekday = %d, want 5", sat.Weekday())
+	}
+	nextMon := epoch.Add(7 * Day)
+	if nextMon.Weekday() != 0 {
+		t.Fatalf("day7 weekday = %d, want 0", nextMon.Weekday())
+	}
+}
+
+func TestHourIndex(t *testing.T) {
+	tm := Time(0).Add(25*Hour + 30*Minute)
+	if tm.HourIndex() != 25 {
+		t.Fatalf("HourIndex = %d, want 25", tm.HourIndex())
+	}
+	if tm.DayIndex() != 1 {
+		t.Fatalf("DayIndex = %d, want 1", tm.DayIndex())
+	}
+}
+
+func TestQueueOrdering(t *testing.T) {
+	var q Queue
+	q.Push(30, "c")
+	q.Push(10, "a")
+	q.Push(20, "b")
+	var got []string
+	for q.Len() > 0 {
+		got = append(got, q.Pop().Value.(string))
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("pop order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueTieBreakByInsertion(t *testing.T) {
+	var q Queue
+	for i := 0; i < 100; i++ {
+		q.Push(5, i)
+	}
+	for i := 0; i < 100; i++ {
+		e := q.Pop()
+		if e.Value.(int) != i {
+			t.Fatalf("tie order: got %d at pop %d", e.Value, i)
+		}
+	}
+}
+
+func TestQueuePeek(t *testing.T) {
+	var q Queue
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty queue should be nil")
+	}
+	q.Push(7, "x")
+	if q.Peek().At != 7 {
+		t.Fatalf("Peek.At = %d, want 7", q.Peek().At)
+	}
+	if q.Len() != 1 {
+		t.Fatal("Peek must not remove the event")
+	}
+}
+
+func TestQueuePopEmpty(t *testing.T) {
+	var q Queue
+	if q.Pop() != nil {
+		t.Fatal("Pop on empty queue should be nil")
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	var q Queue
+	a := q.Push(1, "a")
+	b := q.Push(2, "b")
+	c := q.Push(3, "c")
+	if !q.Remove(b) {
+		t.Fatal("Remove(b) should succeed")
+	}
+	if q.Remove(b) {
+		t.Fatal("double Remove(b) should fail")
+	}
+	if q.Pop() != a || q.Pop() != c {
+		t.Fatal("remaining events should be a then c")
+	}
+	if q.Remove(nil) {
+		t.Fatal("Remove(nil) should fail")
+	}
+}
+
+func TestQueueRemovePopped(t *testing.T) {
+	var q Queue
+	a := q.Push(1, "a")
+	q.Pop()
+	if q.Remove(a) {
+		t.Fatal("Remove of an already-popped event should fail")
+	}
+}
+
+// Property: the queue delivers events in nondecreasing time order no
+// matter the insertion order.
+func TestQueueSortedProperty(t *testing.T) {
+	f := func(times []int16) bool {
+		var q Queue
+		for _, v := range times {
+			q.Push(Time(v), nil)
+		}
+		prev := Time(-1 << 62)
+		for q.Len() > 0 {
+			e := q.Pop()
+			if e.At < prev {
+				return false
+			}
+			prev = e.At
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the queue output is a permutation matching sort order of
+// the input.
+func TestQueueMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		n := rng.Intn(200)
+		in := make([]int64, n)
+		for i := range in {
+			in[i] = int64(rng.Intn(50))
+		}
+		var q Queue
+		for _, v := range in {
+			q.Push(Time(v), v)
+		}
+		sorted := append([]int64(nil), in...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i := 0; q.Len() > 0; i++ {
+			if got := q.Pop().At; got != Time(sorted[i]) {
+				t.Fatalf("trial %d: pos %d got %d want %d", trial, i, got, sorted[i])
+			}
+		}
+	}
+}

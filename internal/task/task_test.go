@@ -1,0 +1,252 @@
+package task
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/sjtucitlab/gfs/internal/simclock"
+)
+
+func TestNewDefaults(t *testing.T) {
+	tk := New(1, HP, 2, 4, simclock.Hour)
+	if tk.State != Pending {
+		t.Fatalf("state = %v, want pending", tk.State)
+	}
+	if tk.FirstStart != -1 {
+		t.Fatalf("FirstStart = %d, want -1", tk.FirstStart)
+	}
+	if tk.TotalGPUs() != 8 {
+		t.Fatalf("TotalGPUs = %v, want 8", tk.TotalGPUs())
+	}
+}
+
+func TestTypeAndStateStrings(t *testing.T) {
+	if HP.String() != "hp" || Spot.String() != "spot" {
+		t.Fatal("Type strings wrong")
+	}
+	if Type(9).String() == "" {
+		t.Fatal("unknown Type should still format")
+	}
+	for s, want := range map[State]string{Pending: "pending", Running: "running", Finished: "finished"} {
+		if s.String() != want {
+			t.Fatalf("State %d string = %q, want %q", s, s.String(), want)
+		}
+	}
+	if State(7).String() == "" {
+		t.Fatal("unknown State should still format")
+	}
+}
+
+func TestUninterruptedLifecycle(t *testing.T) {
+	tk := New(1, Spot, 1, 1, 100)
+	tk.Submit = 0
+	tk.EnterQueue(0)
+	end := tk.Start(10)
+	if end != 110 {
+		t.Fatalf("predicted end = %d, want 110", end)
+	}
+	tk.Finish(end)
+	if tk.State != Finished {
+		t.Fatal("task should be finished")
+	}
+	if tk.JCT() != 110 {
+		t.Fatalf("JCT = %d, want 110", tk.JCT())
+	}
+	if tk.JQT() != 10 {
+		t.Fatalf("JQT = %d, want 10", tk.JQT())
+	}
+	if tk.RunCount() != 1 || tk.Runs[0].Evicted {
+		t.Fatal("expected exactly one successful run")
+	}
+}
+
+func TestEvictionRollsBackToCheckpoint(t *testing.T) {
+	tk := New(2, Spot, 1, 2, 1000)
+	tk.CheckpointEvery = 300
+	tk.EnterQueue(0)
+	tk.Start(0)
+	// Run 700s: checkpoints at 300 and 600; 100s un-checkpointed.
+	waste := tk.Evict(700)
+	if tk.Progress != 600 {
+		t.Fatalf("progress after evict = %d, want 600", tk.Progress)
+	}
+	if waste != 2*100 {
+		t.Fatalf("waste = %v, want 200 GPU-seconds", waste)
+	}
+	if tk.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", tk.Evictions)
+	}
+	if tk.State != Pending {
+		t.Fatal("evicted task must re-enter pending")
+	}
+	if tk.Remaining() != 400 {
+		t.Fatalf("remaining = %d, want 400", tk.Remaining())
+	}
+}
+
+func TestEvictionWithoutCheckpointsLosesEverything(t *testing.T) {
+	tk := New(3, Spot, 1, 1, 500)
+	tk.EnterQueue(0)
+	tk.Start(0)
+	waste := tk.Evict(499)
+	if tk.Progress != 0 {
+		t.Fatalf("progress = %d, want 0", tk.Progress)
+	}
+	if waste != 499 {
+		t.Fatalf("waste = %v, want 499", waste)
+	}
+}
+
+func TestResumeAfterEviction(t *testing.T) {
+	tk := New(4, Spot, 2, 1, 600)
+	tk.CheckpointEvery = 100
+	tk.EnterQueue(0)
+	tk.Start(0)
+	tk.Evict(250) // progress 200
+	end := tk.Start(300)
+	if end != 300+400 {
+		t.Fatalf("resumed end = %d, want 700", end)
+	}
+	tk.Finish(end)
+	if tk.JQT() != 50 { // 250→300 queued
+		t.Fatalf("JQT = %d, want 50", tk.JQT())
+	}
+	if tk.RunCount() != 2 {
+		t.Fatalf("RunCount = %d, want 2", tk.RunCount())
+	}
+	if !tk.Runs[0].Evicted || tk.Runs[1].Evicted {
+		t.Fatal("first run evicted, second not")
+	}
+}
+
+func TestQueueSegmentsAccumulate(t *testing.T) {
+	tk := New(5, Spot, 1, 1, 1000)
+	tk.CheckpointEvery = 1 // perfect checkpoints
+	tk.Submit = 0
+	tk.EnterQueue(0)
+	tk.Start(100)         // 100 queued
+	tk.Evict(200)         // progress 100
+	tk.Start(500)         // +300 queued
+	tk.Evict(600)         // progress 200
+	tk.Start(1000)        // +400 queued
+	tk.Finish(1000 + 800) // remaining 800
+	if tk.JQT() != 800 {
+		t.Fatalf("JQT = %d, want 800", tk.JQT())
+	}
+	if tk.JCT() != 1800 {
+		t.Fatalf("JCT = %d, want 1800", tk.JCT())
+	}
+}
+
+func TestSinceLastCheckpoint(t *testing.T) {
+	tk := New(6, Spot, 1, 4, 1000)
+	tk.CheckpointEvery = 250
+	tk.EnterQueue(0)
+	tk.Start(0)
+	if got := tk.SinceLastCheckpoint(100); got != 100 {
+		t.Fatalf("at t=100: %d, want 100", got)
+	}
+	if got := tk.SinceLastCheckpoint(260); got != 10 {
+		t.Fatalf("at t=260: %d, want 10", got)
+	}
+	if w := tk.Waste(260); w != 40 {
+		t.Fatalf("waste = %v, want 40", w)
+	}
+}
+
+func TestSinceLastCheckpointAfterResume(t *testing.T) {
+	tk := New(7, Spot, 1, 1, 1000)
+	tk.CheckpointEvery = 300
+	tk.EnterQueue(0)
+	tk.Start(0)
+	tk.Evict(350) // progress 300
+	tk.Start(400)
+	// 200s into second run: total work 500, last milestone 300.
+	if got := tk.SinceLastCheckpoint(600); got != 200 {
+		t.Fatalf("got %d, want 200", got)
+	}
+	// 350s into second run: total 650, milestone 600.
+	if got := tk.SinceLastCheckpoint(750); got != 50 {
+		t.Fatalf("got %d, want 50", got)
+	}
+}
+
+func TestEvictNonRunningIsNoop(t *testing.T) {
+	tk := New(8, Spot, 1, 1, 100)
+	tk.EnterQueue(0)
+	if w := tk.Evict(50); w != 0 {
+		t.Fatalf("evicting a pending task should waste 0, got %v", w)
+	}
+	if tk.Evictions != 0 {
+		t.Fatal("evicting a pending task should not count")
+	}
+}
+
+func TestJCTBeforeFinishIsZero(t *testing.T) {
+	tk := New(9, HP, 1, 8, 100)
+	tk.EnterQueue(0)
+	if tk.JCT() != 0 {
+		t.Fatal("JCT of unfinished task should be 0")
+	}
+}
+
+func TestCheckpointNeverExceedsDuration(t *testing.T) {
+	tk := New(10, Spot, 1, 1, 100)
+	tk.CheckpointEvery = 30
+	tk.EnterQueue(0)
+	tk.Start(0)
+	// Overran its duration in wall time (shouldn't happen in the
+	// simulator, but must stay safe).
+	tk.Evict(500)
+	if tk.Progress > tk.Duration {
+		t.Fatalf("progress %d exceeds duration %d", tk.Progress, tk.Duration)
+	}
+}
+
+// Property: progress is monotone nondecreasing under any sequence of
+// run/evict cycles and never exceeds Duration.
+func TestProgressMonotoneProperty(t *testing.T) {
+	f := func(steps []uint8, ckpt uint8) bool {
+		tk := New(99, Spot, 1, 1, 10_000)
+		tk.CheckpointEvery = simclock.Duration(int64(ckpt)%500) + 1
+		now := simclock.Time(0)
+		tk.EnterQueue(now)
+		prev := tk.Progress
+		for _, s := range steps {
+			now = now.Add(simclock.Duration(s) + 1)
+			tk.Start(now)
+			now = now.Add(simclock.Duration(s) * 7)
+			if tk.Remaining() == 0 {
+				tk.Finish(now)
+				break
+			}
+			tk.Evict(now)
+			if tk.Progress < prev || tk.Progress > tk.Duration {
+				return false
+			}
+			prev = tk.Progress
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: waste equals TotalGPUs times un-checkpointed seconds.
+func TestWasteScalesWithGPUs(t *testing.T) {
+	f := func(pods uint8, gpus uint8, ran uint16) bool {
+		p := int(pods%8) + 1
+		g := float64(gpus%8) + 1
+		tk := New(100, Spot, p, g, 100_000)
+		tk.CheckpointEvery = 600
+		tk.EnterQueue(0)
+		tk.Start(0)
+		now := simclock.Time(ran)
+		unsaved := tk.SinceLastCheckpoint(now)
+		return tk.Waste(now) == float64(p)*g*float64(unsaved)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+package timefeat
+
+import (
+	"testing"
+
+	"github.com/sjtucitlab/gfs/internal/simclock"
+)
+
+func TestAtDecodesHourAndWeekday(t *testing.T) {
+	c := NewCalendar()
+	f := c.At(simclock.Time(26 * simclock.Hour)) // Tuesday 02:00
+	if f.Hour != 2 {
+		t.Fatalf("hour = %d, want 2", f.Hour)
+	}
+	if f.Weekday != 1 {
+		t.Fatalf("weekday = %d, want 1 (Tuesday)", f.Weekday)
+	}
+	if f.Holiday {
+		t.Fatal("no holidays registered")
+	}
+}
+
+func TestHolidays(t *testing.T) {
+	c := NewCalendar(2, 10)
+	f := c.At(simclock.Time(2*simclock.Day + 5*simclock.Hour))
+	if !f.Holiday || f.HolidayIndex() != 1 {
+		t.Fatal("day 2 should be a holiday")
+	}
+	f = c.At(simclock.Time(3 * simclock.Day))
+	if f.Holiday || f.HolidayIndex() != 0 {
+		t.Fatal("day 3 should not be a holiday")
+	}
+}
+
+func TestNilCalendarSafe(t *testing.T) {
+	var c *Calendar
+	f := c.At(simclock.Time(simclock.Hour))
+	if f.Holiday {
+		t.Fatal("nil calendar has no holidays")
+	}
+	if f.Hour != 1 {
+		t.Fatalf("hour = %d, want 1", f.Hour)
+	}
+}
+
+func TestAtHour(t *testing.T) {
+	c := NewCalendar()
+	f := c.AtHour(24*5 + 13) // Saturday 13:00
+	if f.Weekday != 5 || f.Hour != 13 {
+		t.Fatalf("got %+v", f)
+	}
+	if !f.IsWeekend() {
+		t.Fatal("Saturday is a weekend")
+	}
+	if c.AtHour(0).IsWeekend() {
+		t.Fatal("Monday is not a weekend")
+	}
+}
+
+func TestDims(t *testing.T) {
+	h, w, hol := Dims()
+	if h != 24 || w != 7 || hol != 2 {
+		t.Fatalf("dims = %d/%d/%d", h, w, hol)
+	}
+}

@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/task"
+)
+
+// csvHeader is the column layout of the on-disk trace format,
+// mirroring the fields of the Alibaba cluster trace release.
+var csvHeader = []string{
+	"id", "org", "gpu_model", "type", "pods", "gpus_per_pod",
+	"gang", "duration_s", "checkpoint_s", "submit_s",
+}
+
+// WriteCSV serializes tasks in submission order.
+func WriteCSV(w io.Writer, tasks []*task.Task) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, tk := range tasks {
+		typ := "spot"
+		if tk.Type == task.HP {
+			typ = "hp"
+		}
+		rec := []string{
+			strconv.Itoa(tk.ID),
+			tk.Org,
+			tk.GPUModel,
+			typ,
+			strconv.Itoa(tk.Pods),
+			strconv.FormatFloat(tk.GPUsPerPod, 'g', -1, 64),
+			strconv.FormatBool(tk.Gang),
+			strconv.FormatInt(int64(tk.Duration), 10),
+			strconv.FormatInt(int64(tk.CheckpointEvery), 10),
+			strconv.FormatInt(int64(tk.Submit), 10),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: write task %d: %w", tk.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV.
+func ReadCSV(r io.Reader) ([]*task.Task, error) {
+	cr := csv.NewReader(r)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: empty file")
+	}
+	if len(recs[0]) != len(csvHeader) || recs[0][0] != "id" {
+		return nil, fmt.Errorf("trace: unexpected header %v", recs[0])
+	}
+	var tasks []*task.Task
+	for i, rec := range recs[1:] {
+		tk, err := parseRecord(rec)
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", i+2, err)
+		}
+		tasks = append(tasks, tk)
+	}
+	return tasks, nil
+}
+
+func parseRecord(rec []string) (*task.Task, error) {
+	if len(rec) != len(csvHeader) {
+		return nil, fmt.Errorf("want %d fields, got %d", len(csvHeader), len(rec))
+	}
+	id, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return nil, fmt.Errorf("id: %w", err)
+	}
+	typ := task.Spot
+	switch rec[3] {
+	case "hp":
+		typ = task.HP
+	case "spot":
+	default:
+		return nil, fmt.Errorf("unknown type %q", rec[3])
+	}
+	pods, err := strconv.Atoi(rec[4])
+	if err != nil {
+		return nil, fmt.Errorf("pods: %w", err)
+	}
+	gpus, err := strconv.ParseFloat(rec[5], 64)
+	if err != nil {
+		return nil, fmt.Errorf("gpus_per_pod: %w", err)
+	}
+	gang, err := strconv.ParseBool(rec[6])
+	if err != nil {
+		return nil, fmt.Errorf("gang: %w", err)
+	}
+	dur, err := strconv.ParseInt(rec[7], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("duration: %w", err)
+	}
+	ckpt, err := strconv.ParseInt(rec[8], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	submit, err := strconv.ParseInt(rec[9], 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("submit: %w", err)
+	}
+	tk := task.New(id, typ, pods, gpus, simclock.Duration(dur))
+	tk.Org = rec[1]
+	tk.GPUModel = rec[2]
+	tk.Gang = gang
+	tk.CheckpointEvery = simclock.Duration(ckpt)
+	tk.Submit = simclock.Time(submit)
+	return tk, nil
+}
