@@ -1,0 +1,108 @@
+package gfs
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// BatchSpec describes one run in a batch sweep. Setup must build ALL
+// of the run's state — cluster, engine, and trace — from scratch, so
+// runs share nothing mutable and the batch parallelizes safely:
+//
+//	specs := []gfs.BatchSpec{}
+//	for seed := int64(1); seed <= 32; seed++ {
+//		seed := seed
+//		specs = append(specs, gfs.BatchSpec{
+//			Name: fmt.Sprintf("seed-%d", seed),
+//			Setup: func() (*gfs.Engine, []*gfs.Task) {
+//				cl := gfs.NewCluster("A100", 16, 8)
+//				cfg := gfs.DefaultTraceConfig()
+//				cfg.Seed = seed
+//				return gfs.NewEngine(cl), gfs.GenerateTrace(cfg)
+//			},
+//		})
+//	}
+//	results := gfs.RunBatch(specs, gfs.WithWorkers(8))
+type BatchSpec struct {
+	// Name labels the run in results.
+	Name string
+	// Setup builds the engine and trace for this run.
+	Setup func() (*Engine, []*Task)
+}
+
+// BatchResult is the outcome of one batch run.
+type BatchResult struct {
+	Name   string
+	Result *Result
+	// Err is non-nil when Setup was missing or the run panicked.
+	Err error
+}
+
+type batchConfig struct {
+	workers int
+}
+
+// BatchOption configures RunBatch.
+type BatchOption func(*batchConfig)
+
+// WithWorkers sets the number of concurrent runs (default: GOMAXPROCS,
+// capped at the batch size). Worker count never changes results; runs
+// are independent and results keep spec order.
+func WithWorkers(n int) BatchOption {
+	return func(c *batchConfig) { c.workers = n }
+}
+
+// RunBatch executes every spec, fanning out over a worker pool, and
+// returns results in spec order. Each run is deterministic in its
+// spec alone, so a batch produces byte-identical results at any
+// worker count.
+func RunBatch(specs []BatchSpec, opts ...BatchOption) []BatchResult {
+	cfg := batchConfig{workers: runtime.GOMAXPROCS(0)}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	if cfg.workers > len(specs) {
+		cfg.workers = len(specs)
+	}
+
+	results := make([]BatchResult, len(specs))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < cfg.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = runOne(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// runOne executes one spec, converting panics into errors so a single
+// bad run cannot take down the sweep.
+func runOne(spec BatchSpec) (br BatchResult) {
+	br.Name = spec.Name
+	defer func() {
+		if r := recover(); r != nil {
+			br.Err = fmt.Errorf("gfs: batch run %q panicked: %v", spec.Name, r)
+		}
+	}()
+	if spec.Setup == nil {
+		br.Err = fmt.Errorf("gfs: batch run %q has no Setup", spec.Name)
+		return br
+	}
+	eng, tasks := spec.Setup()
+	br.Result = eng.Run(tasks)
+	return br
+}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"testing"
 
+	gfs "github.com/sjtucitlab/gfs"
 	"github.com/sjtucitlab/gfs/internal/experiments"
 	"github.com/sjtucitlab/gfs/internal/stats"
 )
@@ -34,6 +35,39 @@ func benchFigScale() experiments.SimScale {
 
 func benchFcScale() experiments.FcScale {
 	return experiments.FcScale{Weeks: 2, L: 48, H: 6, DeepEpochs: 2, LinearEpochs: 15, Seed: 9}
+}
+
+// benchSim drives the simulator hot loop through the Engine API over
+// a one-day 128-GPU trace. The zero-observer variant is the baseline
+// the event spine must not slow down.
+func benchSim(b *testing.B, obs []gfs.Observer) {
+	b.Helper()
+	scale := benchFigScale()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tasks := scale.Trace(2)
+		opts := []gfs.Option{gfs.WithScheduler(gfs.NewYARNCS())}
+		if len(obs) > 0 {
+			opts = append(opts, gfs.WithObserver(obs...))
+		}
+		eng := gfs.NewEngine(gfs.NewCluster("A100", scale.Nodes, scale.GPUsPerNode), opts...)
+		b.StartTimer()
+		res := eng.Run(tasks)
+		if i == b.N-1 {
+			b.ReportMetric(100*res.AllocationRate, "allocPct")
+		}
+	}
+}
+
+// BenchmarkSim measures the simulator with zero observers registered
+// (the event spine must cost nothing here).
+func BenchmarkSim(b *testing.B) { benchSim(b, nil) }
+
+// BenchmarkSimObserver measures the same run with a counting observer
+// attached, for comparison against BenchmarkSim.
+func BenchmarkSimObserver(b *testing.B) {
+	count := 0
+	benchSim(b, []gfs.Observer{gfs.ObserverFunc(func(gfs.Event) { count++ })})
 }
 
 // BenchmarkTable1ClusterStats regenerates Table 1: per-pool GPU

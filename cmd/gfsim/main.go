@@ -1,13 +1,15 @@
 // Command gfsim runs one scheduling simulation and prints its
-// metrics.
+// metrics, optionally streaming simulator events as they happen.
 //
 // Usage:
 //
 //	gfsim -scheduler gfs -nodes 64 -days 2 -spotscale 2
 //	gfsim -scheduler yarn -nodes 287 -days 3
+//	gfsim -scheduler gfs -hours 4 -events 20
 //
 // Schedulers: gfs, gfs-e, gfs-d, gfs-s, gfs-p, gfs-sp, yarn, chronus,
-// lyra, fgd, firstfit.
+// lyra, fgd, firstfit. The spot guarantee window is set with -hours
+// (so -h keeps its conventional meaning: print usage).
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"os"
 
+	gfs "github.com/sjtucitlab/gfs"
 	"github.com/sjtucitlab/gfs/internal/baselines"
 	"github.com/sjtucitlab/gfs/internal/experiments"
 	"github.com/sjtucitlab/gfs/internal/gde"
@@ -27,7 +30,8 @@ func main() {
 	days := flag.Int("days", 1, "trace span in days")
 	spotScale := flag.Float64("spotscale", 1, "spot submission multiplier (1/2/4)")
 	seed := flag.Int64("seed", 17, "trace seed")
-	guarantee := flag.Int("h", 1, "spot guarantee hours (GFS variants)")
+	guarantee := flag.Int("hours", 1, "spot guarantee hours (GFS variants)")
+	events := flag.Int("events", 0, "print the first N simulator events")
 	flag.Parse()
 
 	scale := experiments.SmallScale()
@@ -38,6 +42,17 @@ func main() {
 	tasks := scale.Trace(*spotScale)
 	fmt.Printf("cluster: %d nodes × 8 GPUs; trace: %d tasks over %d day(s)\n",
 		*nodes, len(tasks), *days)
+
+	var extra []gfs.Option
+	if *events > 0 {
+		remaining := *events
+		extra = append(extra, gfs.WithObserver(gfs.ObserverFunc(func(e gfs.Event) {
+			if remaining > 0 {
+				fmt.Println(e)
+				remaining--
+			}
+		})))
+	}
 
 	var res *sched.Result
 	switch *scheduler {
@@ -55,19 +70,19 @@ func main() {
 			fail(err)
 		}
 		sys := scale.NewGFS(est, variant, *guarantee)
-		res = scale.RunGFS(sys, tasks)
+		res = scale.RunGFS(sys, tasks, extra...)
 		fmt.Printf("final η: %.3f\n", sys.Quota.Allocator().Eta())
 	case "yarn":
-		res = scale.RunBaseline(baselines.NewYARNCS(), nil, tasks)
+		res = scale.RunBaseline(baselines.NewYARNCS(), nil, tasks, extra...)
 	case "chronus":
-		res = scale.RunBaseline(baselines.NewChronus(), nil, tasks)
+		res = scale.RunBaseline(baselines.NewChronus(), nil, tasks, extra...)
 	case "lyra":
-		res = scale.RunBaseline(baselines.NewLyra(), nil, tasks)
+		res = scale.RunBaseline(baselines.NewLyra(), nil, tasks, extra...)
 	case "fgd":
-		res = scale.RunBaseline(baselines.NewFGD(), nil, tasks)
+		res = scale.RunBaseline(baselines.NewFGD(), nil, tasks, extra...)
 	case "firstfit":
 		res = scale.RunBaseline(baselines.NewStaticFirstFit(),
-			sched.StaticQuota{Fraction: 0.25}, tasks)
+			sched.StaticQuota{Fraction: 0.25}, tasks, extra...)
 	default:
 		fail(fmt.Errorf("unknown scheduler %q", *scheduler))
 	}

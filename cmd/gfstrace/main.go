@@ -14,7 +14,7 @@ import (
 	"os"
 	"sort"
 
-	"github.com/sjtucitlab/gfs/internal/trace"
+	gfs "github.com/sjtucitlab/gfs"
 )
 
 func main() {
@@ -27,15 +27,15 @@ func main() {
 	showStats := flag.Bool("stats", false, "print trace statistics")
 	flag.Parse()
 
-	cfg := trace.Default()
+	cfg := gfs.DefaultTraceConfig()
 	cfg.Days = *days
 	cfg.ClusterGPUs = *gpus
 	cfg.SpotScale = *spotScale
 	cfg.Seed = *seed
 	if *regime == "2020" {
-		cfg.Regime = trace.Regime2020
+		cfg.Regime = gfs.Regime2020
 	}
-	tasks := trace.Generate(cfg)
+	tasks := gfs.GenerateTrace(cfg)
 	fmt.Printf("generated %d tasks over %d day(s)\n", len(tasks), *days)
 
 	if *out != "" {
@@ -44,17 +44,17 @@ func main() {
 			fail(err)
 		}
 		defer f.Close()
-		if err := trace.WriteCSV(f, tasks); err != nil {
+		if err := gfs.WriteTraceCSV(f, tasks); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
 	if *showStats || *out == "" {
-		printStats(trace.Summarize(tasks))
+		printStats(gfs.SummarizeTrace(tasks))
 	}
 }
 
-func printStats(s trace.Stats) {
+func printStats(s gfs.TraceStats) {
 	fmt.Printf("HP tasks:   %6d (%.2f%%)  gang %.2f%%\n",
 		s.HPCount, 100*s.HPFrac, 100*s.GangFracHP)
 	fmt.Printf("Spot tasks: %6d (%.2f%%)  gang %.2f%%\n",

@@ -1,0 +1,103 @@
+package gfs
+
+import (
+	"github.com/sjtucitlab/gfs/internal/core"
+	"github.com/sjtucitlab/gfs/internal/sched"
+)
+
+// Typed event stream, re-exported from the simulator core.
+type (
+	// Event is one observation from the simulator: a task lifecycle
+	// change, a quota update, or a node membership change.
+	Event = sched.Event
+	// EventKind identifies one class of event.
+	EventKind = sched.EventKind
+	// EvictCause explains a TaskEvicted event.
+	EvictCause = sched.EvictCause
+	// Observer receives events synchronously from the simulation
+	// loop.
+	Observer = sched.Observer
+	// ObserverFunc adapts a function to Observer.
+	ObserverFunc = sched.ObserverFunc
+	// EventLog is an Observer recording every event in order.
+	EventLog = sched.EventLog
+)
+
+// Event kinds.
+const (
+	TaskArrived  = sched.TaskArrived
+	TaskStarted  = sched.TaskStarted
+	TaskEvicted  = sched.TaskEvicted
+	TaskFinished = sched.TaskFinished
+	QuotaUpdated = sched.QuotaUpdated
+	NodeDown     = sched.NodeDown
+	NodeUp       = sched.NodeUp
+)
+
+// Eviction causes.
+const (
+	CausePreempted   = sched.CausePreempted
+	CauseNodeFailure = sched.CauseNodeFailure
+	CauseReclaimed   = sched.CauseReclaimed
+	CauseDrained     = sched.CauseDrained
+)
+
+// Engine is a composable simulation session: a cluster plus a
+// scheduler, quota policy, observers and an optional scenario, built
+// with functional options and run over one or more traces.
+//
+//	eng := gfs.NewEngine(cluster,
+//		gfs.WithSystem(system),
+//		gfs.WithGrace(30*gfs.Second),
+//		gfs.WithObserver(log),
+//		gfs.WithScenario(sc),
+//	)
+//	result := eng.Run(tasks)
+//
+// With no options the engine runs the full GFS stack (PTS scheduler +
+// SQA quota) without a demand estimator, i.e. reactive-only quota
+// management.
+type Engine struct {
+	cluster *Cluster
+	cfg     sched.SimConfig
+	// hasScheduler/hasQuota track whether options supplied them, so
+	// defaults fill in only what is missing.
+	hasScheduler bool
+	hasQuota     bool
+}
+
+// NewEngine builds an engine over the cluster, applying options in
+// order (later options win).
+func NewEngine(cl *Cluster, opts ...Option) *Engine {
+	e := &Engine{cluster: cl, cfg: sched.DefaultSimConfig(cl, nil)}
+	for _, opt := range opts {
+		opt(e)
+	}
+	if !e.hasScheduler {
+		sys := core.New(core.DefaultOptions())
+		e.cfg.Scheduler = sys.Scheduler
+		if !e.hasQuota {
+			e.cfg.Quota = sys.Quota
+		}
+	}
+	return e
+}
+
+// Cluster returns the engine's cluster.
+func (e *Engine) Cluster() *Cluster { return e.cluster }
+
+// Config exposes the underlying simulation configuration (for
+// inspection; mutate via options instead).
+func (e *Engine) Config() SimConfig { return e.cfg }
+
+// Run executes the discrete-event simulation over the trace and
+// returns its metrics. Tasks are mutated in place (lifecycle state,
+// run logs), so each Run needs a fresh trace and engines are not safe
+// for concurrent Runs against the same cluster. Scenarios that change
+// cluster membership (KillNode without a restore, ScaleOut) leave
+// those changes on the cluster after Run returns, so an engine with
+// such a scenario should run once; for sweeps, build fresh state per
+// run via RunBatch.
+func (e *Engine) Run(tasks []*Task) *Result {
+	return sched.Run(e.cfg, tasks)
+}

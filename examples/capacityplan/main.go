@@ -10,7 +10,6 @@ import (
 	"strings"
 
 	gfs "github.com/sjtucitlab/gfs"
-	"github.com/sjtucitlab/gfs/internal/sched"
 	"github.com/sjtucitlab/gfs/internal/sqa"
 )
 
@@ -67,7 +66,8 @@ func main() {
 		}
 	}
 
-	// The same quota drives admission in a full simulation via
-	// sched.QuotaPolicy; see examples/quickstart.
-	var _ sched.QuotaPolicy = gfs.StaticQuota(0.2)
+	// The same quota drives admission in a full simulation through
+	// gfs.NewEngine(cl, gfs.WithQuota(...)); see examples/quickstart
+	// and examples/chaos.
+	var _ gfs.QuotaPolicy = gfs.StaticQuota(0.2)
 }

@@ -55,7 +55,11 @@ func traceFor(p pool, seed int64) []*gfs.Task {
 // fixed spot quota (generous but static, as in Fig. 1).
 func runPre(p pool, seed int64) *gfs.Result {
 	cl := gfs.NewCluster(p.model, p.nodes, p.gpus)
-	return gfs.SimulateScheduler(cl, gfs.NewStaticFirstFit(), gfs.StaticQuota(0.45), traceFor(p, seed))
+	eng := gfs.NewEngine(cl,
+		gfs.WithScheduler(gfs.NewStaticFirstFit()),
+		gfs.WithQuota(gfs.StaticQuota(0.45)),
+	)
+	return eng.Run(traceFor(p, seed))
 }
 
 // runPost deploys GFS on the same pool and workload.
@@ -71,5 +75,6 @@ func runPost(p pool, seed int64) *gfs.Result {
 	opts := gfs.DefaultOptions()
 	opts.Estimator = est
 	cl := gfs.NewCluster(p.model, p.nodes, p.gpus)
-	return gfs.Simulate(cl, gfs.NewSystem(opts), traceFor(p, seed))
+	eng := gfs.NewEngine(cl, gfs.WithSystem(gfs.NewSystem(opts)))
+	return eng.Run(traceFor(p, seed))
 }

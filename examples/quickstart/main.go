@@ -33,11 +33,24 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Assemble GFS (GDE + SQA + PTS) and simulate.
+	// Assemble GFS (GDE + SQA + PTS) into an engine and run. An
+	// observer taps the event stream: here we just count evictions
+	// as they happen.
 	opts := gfs.DefaultOptions()
 	opts.Estimator = est
 	system := gfs.NewSystem(opts)
-	res := gfs.Simulate(cluster, system, tasks)
+	evictions := 0
+	engine := gfs.NewEngine(cluster,
+		gfs.WithSystem(system),
+		gfs.WithGrace(30*gfs.Second),
+		gfs.WithObserver(gfs.ObserverFunc(func(e gfs.Event) {
+			if e.Kind == gfs.TaskEvicted {
+				evictions++
+			}
+		})),
+	)
+	res := engine.Run(tasks)
+	fmt.Printf("observed %d eviction events\n", evictions)
 
 	fmt.Printf("HP   : %4d tasks  avg JCT %8.1fs  avg JQT %6.1fs\n",
 		res.HP.Count, res.HP.JCT, res.HP.JQT)

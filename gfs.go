@@ -14,17 +14,25 @@
 //     packing, co-location and eviction-awareness scores and preempts
 //     spot tasks at minimal cost when HP tasks need GPUs.
 //
-// A minimal session:
+// A minimal session drives the composable Engine:
 //
 //	cluster := gfs.NewCluster("A100", 16, 8)
 //	tasks := gfs.GenerateTrace(gfs.DefaultTraceConfig())
 //	est, _ := gfs.TrainEstimator(gfs.DefaultEstimatorConfig(), panel, 0)
 //	system := gfs.NewSystem(gfs.Options{Estimator: est})
-//	result := gfs.Simulate(cluster, system, tasks)
+//	result := gfs.NewEngine(cluster, gfs.WithSystem(system)).Run(tasks)
 //	fmt.Println(result.Spot.EvictionRate)
+//
+// Engines compose further: WithObserver taps the typed event stream
+// (TaskArrived … NodeUp), WithScenario injects timed cluster
+// mutations mid-run, and RunBatch fans independent runs out over a
+// worker pool. See README.md for the migration table from the older
+// Simulate* entry points.
 package gfs
 
 import (
+	"io"
+
 	"github.com/sjtucitlab/gfs/internal/baselines"
 	"github.com/sjtucitlab/gfs/internal/cluster"
 	"github.com/sjtucitlab/gfs/internal/core"
@@ -124,6 +132,30 @@ func DefaultTraceConfig() TraceConfig { return trace.Default() }
 // statistics (Table 3).
 func GenerateTrace(cfg TraceConfig) []*Task { return trace.Generate(cfg) }
 
+// TraceRegime selects the workload era for trace generation.
+type TraceRegime = trace.Regime
+
+// Workload regimes (Fig. 2).
+const (
+	// Regime2024 is the LLM-era workload (Table 3, Oct 2024).
+	Regime2024 = trace.Regime2024
+	// Regime2020 is the pre-LLM workload (Jul 2020).
+	Regime2020 = trace.Regime2020
+)
+
+// TraceStats summarizes a generated trace (Table 3's statistics).
+type TraceStats = trace.Stats
+
+// SummarizeTrace computes workload statistics over a trace.
+func SummarizeTrace(tasks []*Task) TraceStats { return trace.Summarize(tasks) }
+
+// WriteTraceCSV writes a trace in the package's CSV interchange
+// format.
+func WriteTraceCSV(w io.Writer, tasks []*Task) error { return trace.WriteCSV(w, tasks) }
+
+// ReadTraceCSV reads a trace previously written by WriteTraceCSV.
+func ReadTraceCSV(r io.Reader) ([]*Task, error) { return trace.ReadCSV(r) }
+
 // DefaultEstimatorConfig sizes the GDE as in the experiments: a week
 // of hourly history predicting the next 4 hours.
 func DefaultEstimatorConfig() EstimatorConfig { return gde.DefaultConfig() }
@@ -151,21 +183,25 @@ func NewSystem(opts Options) *System { return core.New(opts) }
 
 // Simulate runs the discrete-event simulation of a GFS system over a
 // trace and returns its metrics.
+//
+// Deprecated: use NewEngine(cl, WithSystem(sys)).Run(tasks), which
+// also supports observers and scenario injection.
 func Simulate(cl *Cluster, sys *System, tasks []*Task) *Result {
-	cfg := sched.DefaultSimConfig(cl, sys.Scheduler)
-	cfg.Quota = sys.Quota
-	return sched.Run(cfg, tasks)
+	return NewEngine(cl, WithSystem(sys)).Run(tasks)
 }
 
 // SimulateScheduler runs any scheduler (e.g. a baseline) with an
 // optional quota policy (nil = unlimited).
+//
+// Deprecated: use NewEngine(cl, WithScheduler(s), WithQuota(quota)).Run(tasks).
 func SimulateScheduler(cl *Cluster, s Scheduler, quota QuotaPolicy, tasks []*Task) *Result {
-	cfg := sched.DefaultSimConfig(cl, s)
-	cfg.Quota = quota
-	return sched.Run(cfg, tasks)
+	return NewEngine(cl, WithScheduler(s), WithQuota(quota)).Run(tasks)
 }
 
 // SimulateConfig runs a fully custom simulation configuration.
+//
+// Deprecated: build an Engine with options instead; Engine.Config
+// exposes the equivalent SimConfig.
 func SimulateConfig(cfg SimConfig, tasks []*Task) *Result { return sched.Run(cfg, tasks) }
 
 // DefaultSimConfig fills in the paper's simulation settings.

@@ -1,0 +1,3 @@
+module github.com/sjtucitlab/gfs
+
+go 1.24

@@ -10,11 +10,12 @@ import (
 type Cluster struct {
 	nodes   []*Node
 	byModel map[string][]*Node
+	byID    map[int]*Node
 }
 
 // New builds an empty cluster.
 func New() *Cluster {
-	return &Cluster{byModel: make(map[string][]*Node)}
+	return &Cluster{byModel: make(map[string][]*Node), byID: make(map[int]*Node)}
 }
 
 // NewHomogeneous builds a cluster of n nodes with gpusPerNode GPUs of
@@ -53,6 +54,47 @@ func NewHeterogeneous(pools []Pool) *Cluster {
 func (c *Cluster) AddNode(n *Node) {
 	c.nodes = append(c.nodes, n)
 	c.byModel[n.Model] = append(c.byModel[n.Model], n)
+	c.byID[n.ID] = n
+}
+
+// AddPool grows the cluster by a pool of fresh nodes, numbering them
+// after the current maximum ID, and returns the new nodes. It is the
+// mutation behind scale-out scenario actions.
+func (c *Cluster) AddPool(p Pool) []*Node {
+	id := c.MaxNodeID() + 1
+	added := make([]*Node, 0, p.Nodes)
+	for i := 0; i < p.Nodes; i++ {
+		n := NewNode(id, p.Model, p.GPUsPerNode)
+		c.AddNode(n)
+		added = append(added, n)
+		id++
+	}
+	return added
+}
+
+// Node returns the node with the given ID, or nil.
+func (c *Cluster) Node(id int) *Node { return c.byID[id] }
+
+// MaxNodeID returns the highest node ID, or -1 for an empty cluster.
+func (c *Cluster) MaxNodeID() int {
+	maxID := -1
+	for _, n := range c.nodes {
+		if n.ID > maxID {
+			maxID = n.ID
+		}
+	}
+	return maxID
+}
+
+// UpNodes counts nodes that are not down.
+func (c *Cluster) UpNodes() int {
+	up := 0
+	for _, n := range c.nodes {
+		if !n.Down() {
+			up++
+		}
+	}
+	return up
 }
 
 // Nodes returns all nodes in ID order.
@@ -78,10 +120,13 @@ func (c *Cluster) Models() []string {
 }
 
 // TotalGPUs returns the cluster capacity C, optionally restricted to
-// one model.
+// one model. Down nodes contribute nothing.
 func (c *Cluster) TotalGPUs(model string) float64 {
 	total := 0.0
 	for _, n := range c.NodesOfModel(model) {
+		if n.Down() {
+			continue
+		}
 		total += float64(n.Capacity())
 	}
 	return total
@@ -92,6 +137,9 @@ func (c *Cluster) TotalGPUs(model string) float64 {
 func (c *Cluster) UsedGPUs(model string) float64 {
 	u := 0.0
 	for _, n := range c.NodesOfModel(model) {
+		if n.Down() {
+			continue
+		}
 		u += n.UsedGPUs()
 	}
 	return u
@@ -107,6 +155,9 @@ func (c *Cluster) IdleGPUs(model string) float64 {
 func (c *Cluster) SpotGPUs(model string) float64 {
 	u := 0.0
 	for _, n := range c.NodesOfModel(model) {
+		if n.Down() {
+			continue
+		}
 		u += n.SpotGPUs()
 	}
 	return u
@@ -116,6 +167,9 @@ func (c *Cluster) SpotGPUs(model string) float64 {
 func (c *Cluster) HPGPUs(model string) float64 {
 	u := 0.0
 	for _, n := range c.NodesOfModel(model) {
+		if n.Down() {
+			continue
+		}
 		u += n.HPGPUs()
 	}
 	return u

@@ -45,6 +45,13 @@ type Node struct {
 	// node, oldest first, for the windowed rate of Eq. (15).
 	evictions []simclock.Time
 
+	// down marks a failed node: it holds no tasks, accepts no
+	// placements, and is excluded from capacity totals.
+	down bool
+	// cordoned marks a draining node: it accepts no new placements
+	// but keeps its running pods and stays in capacity totals.
+	cordoned bool
+
 	// podsByTask tracks how many pods of each task run here and
 	// the per-pod GPU request, so victims can be released.
 	podsByTask map[int]*podAlloc
@@ -64,6 +71,28 @@ func NewNode(id int, model string, capacity int) *Node {
 // Capacity returns the number of physical GPUs.
 func (n *Node) Capacity() int { return len(n.gpus) }
 
+// Down reports whether the node is failed (out of the cluster).
+func (n *Node) Down() bool { return n.down }
+
+// Cordoned reports whether the node refuses new placements while
+// keeping its running pods.
+func (n *Node) Cordoned() bool { return n.cordoned }
+
+// Schedulable reports whether the node may host new pods.
+func (n *Node) Schedulable() bool { return !n.down && !n.cordoned }
+
+// SetDown marks the node failed or restores it. Callers must release
+// the node's tasks before failing it; restoring also clears a cordon.
+func (n *Node) SetDown(down bool) {
+	n.down = down
+	if !down {
+		n.cordoned = false
+	}
+}
+
+// SetCordoned cordons or uncordons the node.
+func (n *Node) SetCordoned(c bool) { n.cordoned = c }
+
 // IdleGPUs returns the total unallocated GPU capacity, counting
 // fractional remainders.
 func (n *Node) IdleGPUs() float64 {
@@ -73,6 +102,9 @@ func (n *Node) IdleGPUs() float64 {
 // WholeFreeGPUs counts completely idle cards, the unit that whole-card
 // requests (g ≥ 1) consume.
 func (n *Node) WholeFreeGPUs() int {
+	if !n.Schedulable() {
+		return 0
+	}
 	c := 0
 	for i := range n.gpus {
 		if n.gpus[i].used == 0 {
@@ -88,6 +120,9 @@ func (n *Node) WholeFreeGPUs() int {
 // scheduling uses it to test placement feasibility before committing
 // to evictions.
 func (n *Node) WholeFreeGPUsExcluding(victims map[int]bool) int {
+	if !n.Schedulable() {
+		return 0
+	}
 	c := 0
 	for i := range n.gpus {
 		g := &n.gpus[i]
@@ -124,6 +159,9 @@ func (n *Node) UsedGPUs() float64 { return n.hpUsed + n.spotUsed }
 // CanFitPod reports whether one pod of tk could be placed without
 // preemption.
 func (n *Node) CanFitPod(tk *task.Task) bool {
+	if !n.Schedulable() {
+		return false
+	}
 	if tk.GPUModel != "" && tk.GPUModel != n.Model {
 		return false
 	}
@@ -147,6 +185,9 @@ func (n *Node) CanFitPod(tk *task.Task) bool {
 // PlacePod allocates the GPUs for one pod of tk. It returns
 // ErrInsufficient when the pod does not fit.
 func (n *Node) PlacePod(tk *task.Task) error {
+	if !n.Schedulable() {
+		return fmt.Errorf("%w: node %d unschedulable", ErrInsufficient, n.ID)
+	}
 	if tk.GPUModel != "" && tk.GPUModel != n.Model {
 		return fmt.Errorf("%w: model %s != %s", ErrInsufficient, n.Model, tk.GPUModel)
 	}

@@ -278,8 +278,7 @@ func Figure9(scale SimScale) ([]Figure9Row, error) {
 		tasks2 := traceOf(scale, p.model, float64(p.nodes*p.gpus), p.load, i, float64(p.gpus))
 		sys := scale.NewGFS(est, GFSFull, 1)
 		cl := clusterOf(p.model, p.nodes, p.gpus)
-		cfgSim := simConfigFor(cl, sys)
-		post := runGFSOn(cfgSim, tasks2)
+		post := runGFS(cl, sys, tasks2)
 
 		rows = append(rows, Figure9Row{
 			Model:        p.model,

@@ -3,6 +3,7 @@ package experiments
 import (
 	"math/rand"
 
+	gfs "github.com/sjtucitlab/gfs"
 	"github.com/sjtucitlab/gfs/internal/baselines"
 	"github.com/sjtucitlab/gfs/internal/cluster"
 	"github.com/sjtucitlab/gfs/internal/core"
@@ -43,21 +44,17 @@ func traceOf(scale SimScale, model string, capacity, load float64, seedOffset in
 // runFF runs the pre-deployment configuration: static quota +
 // first-fit.
 func runFF(cl *cluster.Cluster, tasks []*task.Task) *sched.Result {
-	cfg := sched.DefaultSimConfig(cl, baselines.NewStaticFirstFit())
-	cfg.Quota = sched.StaticQuota{Fraction: 0.20}
-	return sched.Run(cfg, tasks)
+	return gfs.NewEngine(cl,
+		gfs.WithScheduler(baselines.NewStaticFirstFit()),
+		gfs.WithQuota(sched.StaticQuota{Fraction: 0.20}),
+	).Run(tasks)
 }
 
-// simConfigFor prepares a GFS simulation on an arbitrary cluster.
-func simConfigFor(cl *cluster.Cluster, sys *core.System) sched.SimConfig {
-	cfg := sched.DefaultSimConfig(cl, sys.Scheduler)
-	cfg.Quota = sys.Quota
-	return cfg
-}
-
-// runGFSOn executes a prepared GFS simulation.
-func runGFSOn(cfg sched.SimConfig, tasks []*task.Task) *sched.Result {
-	return sched.Run(cfg, tasks)
+// runGFS executes a GFS system on an arbitrary cluster through the
+// Engine API; extra options (observers, scenarios) pass through.
+func runGFS(cl *cluster.Cluster, sys *core.System, tasks []*task.Task, extra ...gfs.Option) *sched.Result {
+	opts := append([]gfs.Option{gfs.WithSystem(sys)}, extra...)
+	return gfs.NewEngine(cl, opts...).Run(tasks)
 }
 
 // seededRand builds a deterministic generator.

@@ -1,0 +1,170 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/sjtucitlab/gfs/internal/cluster"
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/task"
+)
+
+// EventKind identifies one class of simulator event.
+type EventKind uint8
+
+const (
+	// TaskArrived fires when a task enters the pending queue.
+	TaskArrived EventKind = iota
+	// TaskStarted fires when a task's run begins (Event.Task holds
+	// the task; a preceding grace period is already folded into the
+	// start time recorded on the task).
+	TaskStarted
+	// TaskEvicted fires when a running task is preempted, killed by
+	// a node failure, or reclaimed; Event.Cause distinguishes them.
+	TaskEvicted
+	// TaskFinished fires when a task completes all its work.
+	TaskFinished
+	// QuotaUpdated fires at each quota tick with the new spot quota
+	// in Event.Quota.
+	QuotaUpdated
+	// NodeDown fires when a node fails or is cordoned by a scenario
+	// action; Event.Node holds the node.
+	NodeDown
+	// NodeUp fires when a node (re)joins the schedulable pool,
+	// including nodes added by a scale-out action.
+	NodeUp
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case TaskArrived:
+		return "TaskArrived"
+	case TaskStarted:
+		return "TaskStarted"
+	case TaskEvicted:
+		return "TaskEvicted"
+	case TaskFinished:
+		return "TaskFinished"
+	case QuotaUpdated:
+		return "QuotaUpdated"
+	case NodeDown:
+		return "NodeDown"
+	case NodeUp:
+		return "NodeUp"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// EvictCause explains why a TaskEvicted event happened.
+type EvictCause uint8
+
+const (
+	// CauseNone marks events that are not evictions.
+	CauseNone EvictCause = iota
+	// CausePreempted: a higher-priority placement took the GPUs.
+	CausePreempted
+	// CauseNodeFailure: the hosting node went down.
+	CauseNodeFailure
+	// CauseReclaimed: a spot reclamation burst took the capacity.
+	CauseReclaimed
+	// CauseDrained: the hosting node was drained.
+	CauseDrained
+)
+
+// String implements fmt.Stringer.
+func (c EvictCause) String() string {
+	switch c {
+	case CauseNone:
+		return "none"
+	case CausePreempted:
+		return "preempted"
+	case CauseNodeFailure:
+		return "node-failure"
+	case CauseReclaimed:
+		return "reclaimed"
+	case CauseDrained:
+		return "drained"
+	default:
+		return fmt.Sprintf("EvictCause(%d)", uint8(c))
+	}
+}
+
+// Event is one observation from the simulator core. Only the fields
+// relevant to Kind are set: Task for task lifecycle events, Node for
+// node membership events, Quota for quota updates, Cause for
+// evictions.
+type Event struct {
+	Kind EventKind
+	// At is the simulated time of the event.
+	At simclock.Time
+	// Seq orders events totally within one run: events sharing a
+	// timestamp keep their emission order.
+	Seq   uint64
+	Task  *task.Task
+	Node  *cluster.Node
+	Quota float64
+	Cause EvictCause
+}
+
+// String renders the event as one deterministic log line, so that an
+// event log can be compared byte-for-byte across runs.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%d seq=%d %s", int64(e.At), e.Seq, e.Kind)
+	switch e.Kind {
+	case TaskArrived, TaskStarted, TaskFinished:
+		fmt.Fprintf(&b, " task=%d type=%s gpus=%g", e.Task.ID, e.Task.Type, e.Task.TotalGPUs())
+	case TaskEvicted:
+		fmt.Fprintf(&b, " task=%d type=%s gpus=%g cause=%s", e.Task.ID, e.Task.Type, e.Task.TotalGPUs(), e.Cause)
+	case QuotaUpdated:
+		fmt.Fprintf(&b, " quota=%g", e.Quota)
+	case NodeDown, NodeUp:
+		fmt.Fprintf(&b, " node=%d", e.Node.ID)
+	}
+	return b.String()
+}
+
+// Observer receives simulator events as they happen. Implementations
+// must not mutate the cluster or tasks; they are called synchronously
+// from the simulation hot loop, so heavy work should be deferred.
+type Observer interface {
+	OnEvent(Event)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Event)
+
+// OnEvent implements Observer.
+func (f ObserverFunc) OnEvent(e Event) { f(e) }
+
+// EventLog is an Observer that records every event in order. Its
+// String output is deterministic for a fixed seed and configuration.
+type EventLog struct {
+	Events []Event
+}
+
+// OnEvent implements Observer.
+func (l *EventLog) OnEvent(e Event) { l.Events = append(l.Events, e) }
+
+// Filter returns the recorded events of the given kind, in order.
+func (l *EventLog) Filter(kind EventKind) []Event {
+	var out []Event
+	for _, e := range l.Events {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the log with one line per event.
+func (l *EventLog) String() string {
+	var b strings.Builder
+	for _, e := range l.Events {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

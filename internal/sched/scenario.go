@@ -1,0 +1,68 @@
+package sched
+
+import (
+	"sort"
+
+	"github.com/sjtucitlab/gfs/internal/cluster"
+	"github.com/sjtucitlab/gfs/internal/simclock"
+)
+
+// ScenarioOp is one kind of timed cluster mutation.
+type ScenarioOp uint8
+
+const (
+	// OpNodeDown fails a node: every task with pods on it is killed
+	// (gang tasks lose all their pods cluster-wide) and requeued,
+	// and the node leaves the schedulable pool and capacity totals.
+	OpNodeDown ScenarioOp = iota
+	// OpNodeUp restores a previously failed or drained node.
+	OpNodeUp
+	// OpNodeDrain cordons a node and evicts its spot tasks; HP pods
+	// run to completion and the node stays in capacity totals.
+	OpNodeDrain
+	// OpScaleOut adds a pool of fresh nodes to the cluster.
+	OpScaleOut
+	// OpReclaimSpot evicts running spot tasks until the requested
+	// fraction of currently held spot GPUs is reclaimed (a spot
+	// reclamation burst, oldest task IDs first).
+	OpReclaimSpot
+)
+
+// String implements fmt.Stringer.
+func (o ScenarioOp) String() string {
+	switch o {
+	case OpNodeDown:
+		return "NodeDown"
+	case OpNodeUp:
+		return "NodeUp"
+	case OpNodeDrain:
+		return "NodeDrain"
+	case OpScaleOut:
+		return "ScaleOut"
+	case OpReclaimSpot:
+		return "ReclaimSpot"
+	default:
+		return "ScenarioOp(?)"
+	}
+}
+
+// ScenarioAction is one timed mutation injected into the simulation's
+// event queue. Only the fields relevant to Op are used.
+type ScenarioAction struct {
+	At simclock.Time
+	Op ScenarioOp
+	// NodeID targets OpNodeDown / OpNodeUp / OpNodeDrain.
+	NodeID int
+	// Pool sizes an OpScaleOut.
+	Pool cluster.Pool
+	// Fraction of held spot GPUs to take in an OpReclaimSpot,
+	// in (0, 1].
+	Fraction float64
+}
+
+// SortActions orders actions by time, preserving the relative order
+// of actions sharing a timestamp (stable), and returns its argument.
+func SortActions(actions []ScenarioAction) []ScenarioAction {
+	sort.SliceStable(actions, func(i, j int) bool { return actions[i].At < actions[j].At })
+	return actions
+}

@@ -35,6 +35,13 @@ type SimConfig struct {
 	// fed to the quota policy, avoiding a forecast cold start. Each
 	// series is hourly demand ending at the simulation epoch.
 	InitialOrgDemand map[string][]float64
+	// Observers receive the typed event stream. With none
+	// registered the simulator pays no emission cost.
+	Observers []Observer
+	// Scenario lists timed cluster mutations (node failure/restore,
+	// drain, scale-out, spot reclamation) injected into the event
+	// queue mid-run. Actions sharing a timestamp apply in order.
+	Scenario []ScenarioAction
 }
 
 // DefaultSimConfig fills in the paper's settings for a given cluster
@@ -92,6 +99,8 @@ type finishEvent struct {
 
 type tickEvent struct{}
 
+type scenarioEvent struct{ action ScenarioAction }
+
 // Simulator is the discrete-event driver.
 type Simulator struct {
 	cfg     SimConfig
@@ -115,6 +124,11 @@ type Simulator struct {
 	lastProgress simclock.Time
 	recentQueues []queueObs
 	running      int
+
+	// hasObs caches len(cfg.Observers) > 0 so the hot loop skips
+	// event construction entirely when nobody listens.
+	hasObs   bool
+	eventSeq uint64
 }
 
 type queueObs struct {
@@ -166,8 +180,20 @@ func Run(cfg SimConfig, tasks []*task.Task) *Result {
 	for org, hist := range cfg.InitialOrgDemand {
 		s.orgDemand[org] = append([]float64(nil), hist...)
 	}
+	s.hasObs = len(cfg.Observers) > 0
 	for _, tk := range tasks {
 		s.queue.Push(tk.Submit, arrivalEvent{tk: tk})
+	}
+	// Scenario actions join the same queue; pushing them after the
+	// arrivals means a mutation at time t applies after arrivals at
+	// t, deterministically. Against finish events the tie-break goes
+	// the other way: finishes are pushed mid-run with higher
+	// sequence numbers, so a node failure at the exact instant a
+	// hosted task would complete kills the task first (failure wins
+	// ties, as it would on real hardware).
+	actions := SortActions(append([]ScenarioAction(nil), cfg.Scenario...))
+	for _, a := range actions {
+		s.queue.Push(a.At, scenarioEvent{action: a})
 	}
 	if len(tasks) > 0 {
 		s.now = tasks[0].Submit
@@ -204,6 +230,18 @@ func (s *Simulator) loop() {
 	s.alloc.Observe(s.now, s.state.Cluster.UsedGPUs(""))
 }
 
+// emit delivers one event to every observer, stamping time and
+// sequence. Callers must guard with s.hasObs so unobserved runs pay
+// nothing.
+func (s *Simulator) emit(ev Event) {
+	ev.At = s.now
+	ev.Seq = s.eventSeq
+	s.eventSeq++
+	for _, o := range s.cfg.Observers {
+		o.OnEvent(ev)
+	}
+}
+
 // handle processes one event and reports whether a scheduling pass
 // should follow.
 func (s *Simulator) handle(ev *simclock.Event) bool {
@@ -212,6 +250,9 @@ func (s *Simulator) handle(ev *simclock.Event) bool {
 		e.tk.EnterQueue(s.now)
 		s.insertPending(e.tk)
 		s.lastProgress = s.now
+		if s.hasObs {
+			s.emit(Event{Kind: TaskArrived, Task: e.tk})
+		}
 		return true
 	case finishEvent:
 		if s.epochs[e.tk.ID] != e.epoch || e.tk.State != task.Running {
@@ -226,7 +267,12 @@ func (s *Simulator) handle(ev *simclock.Event) bool {
 		}
 		s.alloc.Observe(s.now, s.state.Cluster.UsedGPUs(""))
 		s.lastProgress = s.now
+		if s.hasObs {
+			s.emit(Event{Kind: TaskFinished, Task: e.tk})
+		}
 		return true
+	case scenarioEvent:
+		return s.applyScenario(e.action)
 	case tickEvent:
 		s.recordDemand()
 		s.updateQuota()
@@ -299,6 +345,120 @@ func (s *Simulator) updateQuota() {
 		SpotGuaranteed: s.state.Cluster.SpotGPUs(""),
 	}
 	s.spotQuota = s.cfg.Quota.Quota(ctx)
+	if s.hasObs {
+		s.emit(Event{Kind: QuotaUpdated, Quota: s.spotQuota})
+	}
+}
+
+// applyScenario performs one timed cluster mutation and reports
+// whether a scheduling pass should follow.
+func (s *Simulator) applyScenario(a ScenarioAction) bool {
+	cl := s.state.Cluster
+	switch a.Op {
+	case OpNodeDown:
+		n := cl.Node(a.NodeID)
+		if n == nil || n.Down() {
+			return false
+		}
+		if s.hasObs {
+			s.emit(Event{Kind: NodeDown, Node: n})
+		}
+		victims, locs := s.state.KillNode(n)
+		n.SetDown(true)
+		s.alloc.SetCapacity(s.now, cl.TotalGPUs(""))
+		for i, v := range victims {
+			s.evictVictim(v, CauseNodeFailure, locs[i])
+		}
+		s.alloc.Observe(s.now, cl.UsedGPUs(""))
+		s.lastProgress = s.now
+		return true
+	case OpNodeUp:
+		n := cl.Node(a.NodeID)
+		if n == nil || n.Schedulable() {
+			return false
+		}
+		n.SetDown(false)
+		s.alloc.SetCapacity(s.now, cl.TotalGPUs(""))
+		if s.hasObs {
+			s.emit(Event{Kind: NodeUp, Node: n})
+		}
+		s.lastProgress = s.now
+		return true
+	case OpNodeDrain:
+		n := cl.Node(a.NodeID)
+		if n == nil || !n.Schedulable() {
+			return false
+		}
+		n.SetCordoned(true)
+		if s.hasObs {
+			s.emit(Event{Kind: NodeDown, Node: n})
+		}
+		for _, v := range n.SpotTasks() {
+			locs := s.state.NodesOf(v)
+			s.state.ReleaseAll(v)
+			s.evictVictim(v, CauseDrained, locs)
+		}
+		s.alloc.Observe(s.now, cl.UsedGPUs(""))
+		s.lastProgress = s.now
+		return true
+	case OpScaleOut:
+		added := cl.AddPool(a.Pool)
+		s.alloc.SetCapacity(s.now, cl.TotalGPUs(""))
+		if s.hasObs {
+			for _, n := range added {
+				s.emit(Event{Kind: NodeUp, Node: n})
+			}
+		}
+		s.lastProgress = s.now
+		return true
+	case OpReclaimSpot:
+		target := a.Fraction * cl.SpotGPUs("")
+		if target <= 0 {
+			return false
+		}
+		reclaimed := 0.0
+		// s.tasks is in trace (ID) order, so the victim sweep is
+		// deterministic.
+		for _, tk := range s.tasks {
+			if reclaimed >= target {
+				break
+			}
+			if tk.Type != task.Spot || tk.State != task.Running {
+				continue
+			}
+			locs := s.state.NodesOf(tk)
+			s.state.ReleaseAll(tk)
+			reclaimed += tk.TotalGPUs()
+			s.evictVictim(tk, CauseReclaimed, locs)
+		}
+		s.alloc.Observe(s.now, cl.UsedGPUs(""))
+		s.lastProgress = s.now
+		return true
+	}
+	return false
+}
+
+// evictVictim performs the task-lifecycle bookkeeping for a scenario
+// eviction whose pods have already been released: progress rollback,
+// counters, per-node eviction history, event emission and requeueing.
+func (s *Simulator) evictVictim(v *task.Task, cause EvictCause, locs []NodePods) {
+	if v.State != task.Running {
+		return
+	}
+	s.waste += v.Evict(s.now)
+	s.epochs[v.ID]++
+	s.running--
+	if v.Type == task.Spot {
+		s.fCount++
+		s.evWindow.Record(s.now, true)
+		for _, np := range locs {
+			np.Node.RecordEviction(s.now)
+		}
+	}
+	if s.hasObs {
+		s.emit(Event{Kind: TaskEvicted, Task: v, Cause: cause})
+	}
+	s.insertPending(v)
 }
 
 // maxSpotQueue is the worst spot queuing experience over the recent
@@ -449,6 +609,9 @@ func (s *Simulator) apply(tk *task.Task, dec *Decision) {
 				np.Node.RecordEviction(s.now)
 			}
 		}
+		if s.hasObs {
+			s.emit(Event{Kind: TaskEvicted, Task: v, Cause: CausePreempted})
+		}
 		s.insertPending(v)
 	}
 	start := s.now
@@ -467,6 +630,9 @@ func (s *Simulator) apply(tk *task.Task, dec *Decision) {
 	s.queue.Push(end, finishEvent{tk: tk, epoch: s.epochs[tk.ID]})
 	s.alloc.Observe(s.now, s.state.Cluster.UsedGPUs(""))
 	s.lastProgress = s.now
+	if s.hasObs {
+		s.emit(Event{Kind: TaskStarted, Task: tk})
+	}
 }
 
 func (s *Simulator) result() *Result {

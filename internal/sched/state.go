@@ -65,6 +65,22 @@ func (s *State) releaseAll(tk *task.Task) {
 // ReleaseAll is the driver-facing release used when a task finishes.
 func (s *State) ReleaseAll(tk *task.Task) { s.releaseAll(tk) }
 
+// KillNode releases every task hosted on n from the whole cluster
+// (gang tasks lose all their pods, wherever they are) and returns the
+// victims sorted by task ID together with the nodes each occupied
+// before release, for per-node eviction accounting. The driver uses
+// it for node-failure scenario actions; the node itself is left for
+// the caller to mark down.
+func (s *State) KillNode(n *cluster.Node) ([]*task.Task, [][]NodePods) {
+	victims := n.Tasks()
+	locs := make([][]NodePods, len(victims))
+	for i, tk := range victims {
+		locs[i] = s.NodesOf(tk)
+		s.releaseAll(tk)
+	}
+	return victims, locs
+}
+
 // Running reports whether tk currently holds GPUs.
 func (s *State) Running(tk *task.Task) bool { return len(s.locs[tk.ID]) > 0 }
 

@@ -56,12 +56,15 @@ func Summarize(tasks []*task.Task, typ task.Type) TaskMetrics {
 }
 
 // AllocationTracker integrates the cluster's GPU allocation over
-// simulated time to produce the time-averaged allocation rate.
+// simulated time to produce the time-averaged allocation rate. The
+// capacity may change mid-run (node failures, scale-out): the rate is
+// then ∫used dt / ∫capacity dt over the observed span.
 type AllocationTracker struct {
 	capacity float64
 	lastT    simclock.Time
 	lastUsed float64
 	area     float64 // ∫ used dt
+	capArea  float64 // ∫ capacity dt
 	span     simclock.Duration
 	started  bool
 	// Samples holds (time, rate) pairs for heatmap and time-series
@@ -87,6 +90,7 @@ func (a *AllocationTracker) Observe(t simclock.Time, used float64) {
 	if a.started {
 		dt := t.Sub(a.lastT)
 		a.area += a.lastUsed * float64(dt)
+		a.capArea += a.capacity * float64(dt)
 		a.span += dt
 	}
 	a.started = true
@@ -99,12 +103,21 @@ func (a *AllocationTracker) Observe(t simclock.Time, used float64) {
 	a.Samples = append(a.Samples, AllocationSample{At: t, Rate: rate})
 }
 
+// SetCapacity closes the current integration window at time t and
+// switches to a new capacity (node failure, restore, or scale-out).
+func (a *AllocationTracker) SetCapacity(t simclock.Time, capacity float64) {
+	if a.started {
+		a.Observe(t, a.lastUsed)
+	}
+	a.capacity = capacity
+}
+
 // Rate returns the time-averaged allocation rate observed so far.
 func (a *AllocationTracker) Rate() float64 {
-	if a.span == 0 || a.capacity == 0 {
+	if a.span == 0 || a.capArea == 0 {
 		return 0
 	}
-	return a.area / (float64(a.span) * a.capacity)
+	return a.area / a.capArea
 }
 
 // EvictionWindow tracks eviction and completion counts over a sliding

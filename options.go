@@ -1,0 +1,83 @@
+package gfs
+
+// Option configures an Engine at construction.
+type Option func(*Engine)
+
+// WithScheduler selects the placement scheduler (GFS PTS or any
+// baseline). Without WithQuota the spot quota stays unlimited.
+func WithScheduler(s Scheduler) Option {
+	return func(e *Engine) {
+		e.cfg.Scheduler = s
+		e.hasScheduler = true
+	}
+}
+
+// WithSystem installs an assembled GFS system: its PTS scheduler and
+// its GDE/SQA quota policy.
+func WithSystem(sys *System) Option {
+	return func(e *Engine) {
+		e.cfg.Scheduler = sys.Scheduler
+		e.cfg.Quota = sys.Quota
+		e.hasScheduler = true
+		e.hasQuota = true
+	}
+}
+
+// WithQuota sets the spot quota policy (nil = unlimited).
+func WithQuota(q QuotaPolicy) Option {
+	return func(e *Engine) {
+		e.cfg.Quota = q
+		e.hasQuota = true
+	}
+}
+
+// WithGrace sets the preemption grace period (30 s in production).
+func WithGrace(d Duration) Option {
+	return func(e *Engine) { e.cfg.Grace = d }
+}
+
+// WithQuotaInterval sets the quota update period (Table 4: 300 s).
+func WithQuotaInterval(d Duration) Option {
+	return func(e *Engine) { e.cfg.QuotaInterval = d }
+}
+
+// WithQuotaWindow sets the lookback for the eviction rate fed to the
+// quota policy (default 1 h).
+func WithQuotaWindow(d Duration) Option {
+	return func(e *Engine) { e.cfg.QuotaWindow = d }
+}
+
+// WithIdleTimeout stops a run when nothing progresses for this long
+// (default 48 h).
+func WithIdleTimeout(d Duration) Option {
+	return func(e *Engine) { e.cfg.IdleTimeout = d }
+}
+
+// WithMaxFailuresPerPass bounds wasted placement attempts per
+// scheduling pass (default 25).
+func WithMaxFailuresPerPass(n int) Option {
+	return func(e *Engine) { e.cfg.MaxFailuresPerPass = n }
+}
+
+// WithInitialOrgDemand seeds per-organization hourly demand history
+// so quota forecasts have context from hour zero.
+func WithInitialOrgDemand(panel map[string][]float64) Option {
+	return func(e *Engine) { e.cfg.InitialOrgDemand = panel }
+}
+
+// WithObserver registers observers for the typed event stream. It may
+// be repeated; observers receive events in registration order. With
+// no observers the simulator pays no emission cost.
+func WithObserver(obs ...Observer) Option {
+	return func(e *Engine) { e.cfg.Observers = append(e.cfg.Observers, obs...) }
+}
+
+// WithScenario injects a scenario's timed cluster mutations into the
+// run's event queue.
+func WithScenario(sc *Scenario) Option {
+	return func(e *Engine) {
+		if sc != nil {
+			e.cfg.Scenario = append(e.cfg.Scenario, sc.Actions()...)
+		}
+	}
+}

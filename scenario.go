@@ -1,0 +1,84 @@
+package gfs
+
+import "github.com/sjtucitlab/gfs/internal/sched"
+
+// ScenarioAction is one timed cluster mutation.
+type ScenarioAction = sched.ScenarioAction
+
+// Scenario is a timed script of cluster mutations fed into a
+// simulation's event queue: node failures and restores, drains,
+// capacity scale-out, and spot reclamation bursts. Build one with the
+// fluent methods and attach it via WithScenario:
+//
+//	sc := gfs.NewScenario().
+//		KillNodes(6*gfs.Hour, 3, 4).
+//		RestoreNodes(12*gfs.Hour, 3, 4)
+//	res := gfs.NewEngine(cl, gfs.WithScenario(sc)).Run(tasks)
+//
+// Times are simulated durations from the trace epoch. Actions sharing
+// a timestamp apply in the order they were added.
+type Scenario struct {
+	actions []ScenarioAction
+}
+
+// NewScenario returns an empty scenario.
+func NewScenario() *Scenario { return &Scenario{} }
+
+func (s *Scenario) add(a ScenarioAction) *Scenario {
+	s.actions = append(s.actions, a)
+	return s
+}
+
+// KillNode fails one node at time at: every task with pods on it is
+// killed and requeued, and the node leaves the schedulable pool.
+func (s *Scenario) KillNode(at Duration, nodeID int) *Scenario {
+	return s.add(ScenarioAction{At: Time(0).Add(at), Op: sched.OpNodeDown, NodeID: nodeID})
+}
+
+// KillNodes fails several nodes at time at, in ID argument order.
+func (s *Scenario) KillNodes(at Duration, nodeIDs ...int) *Scenario {
+	for _, id := range nodeIDs {
+		s.KillNode(at, id)
+	}
+	return s
+}
+
+// RestoreNode returns a failed or drained node to service at time at.
+func (s *Scenario) RestoreNode(at Duration, nodeID int) *Scenario {
+	return s.add(ScenarioAction{At: Time(0).Add(at), Op: sched.OpNodeUp, NodeID: nodeID})
+}
+
+// RestoreNodes restores several nodes at time at.
+func (s *Scenario) RestoreNodes(at Duration, nodeIDs ...int) *Scenario {
+	for _, id := range nodeIDs {
+		s.RestoreNode(at, id)
+	}
+	return s
+}
+
+// DrainNode cordons a node at time at and evicts its spot tasks; HP
+// pods run to completion and the node stays in capacity totals.
+func (s *Scenario) DrainNode(at Duration, nodeID int) *Scenario {
+	return s.add(ScenarioAction{At: Time(0).Add(at), Op: sched.OpNodeDrain, NodeID: nodeID})
+}
+
+// ScaleOut adds a pool of fresh nodes at time at.
+func (s *Scenario) ScaleOut(at Duration, pool Pool) *Scenario {
+	return s.add(ScenarioAction{At: Time(0).Add(at), Op: sched.OpScaleOut, Pool: pool})
+}
+
+// ReclaimSpot evicts running spot tasks at time at until the given
+// fraction of the spot GPUs then in use has been reclaimed — a spot
+// reclamation burst.
+func (s *Scenario) ReclaimSpot(at Duration, fraction float64) *Scenario {
+	return s.add(ScenarioAction{At: Time(0).Add(at), Op: sched.OpReclaimSpot, Fraction: fraction})
+}
+
+// Actions returns the scenario's mutations sorted by time, preserving
+// insertion order within a timestamp.
+func (s *Scenario) Actions() []ScenarioAction {
+	return sched.SortActions(append([]ScenarioAction(nil), s.actions...))
+}
+
+// Len returns the number of actions.
+func (s *Scenario) Len() int { return len(s.actions) }
