@@ -6,8 +6,8 @@
 //	gfsbench -experiment table5 -scale paper
 //
 // Experiments: table1, table5, table6, table7, table8, table9,
-// table10, fig2, fig3, fig4, fig5, fig8, fig9, fig10, benefit, all.
-// Scales: small (128 GPUs), medium (512), paper (2,296).
+// table10, fig2, fig3, fig4, fig5, fig8, fig9, fig10, benefit, storm,
+// all. Scales: small (128 GPUs), medium (512), paper (2,296).
 package main
 
 import (
@@ -44,7 +44,7 @@ func main() {
 	if *exp == "all" {
 		ids = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig8",
 			"fig9", "table5", "table6", "fig10", "table7",
-			"table8", "table9", "table10", "benefit"}
+			"table8", "table9", "table10", "storm", "benefit"}
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -114,6 +114,13 @@ func run(id string, scale experiments.SimScale, fc experiments.FcScale) error {
 			return err
 		}
 		fmt.Printf("== Table 10: PTS ablation ==\n%s", experiments.FormatAblation(rows))
+	case "storm":
+		rows, err := experiments.StormExperiment(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Storm: schedulers under correlated failures & reclamation storms ==\n%s",
+			experiments.FormatStorm(rows))
 	case "fig2":
 		d := experiments.Figure2(scale)
 		fmt.Println("== Figure 2: request-size CDFs ==")

@@ -6,10 +6,14 @@
 //	gfsim -scheduler gfs -nodes 64 -days 2 -spotscale 2
 //	gfsim -scheduler yarn -nodes 287 -days 3
 //	gfsim -scheduler gfs -hours 4 -events 20
+//	gfsim -scheduler gfs -scenario diurnal-storm
 //
 // Schedulers: gfs, gfs-e, gfs-d, gfs-s, gfs-p, gfs-sp, yarn, chronus,
 // lyra, fgd, firstfit. The spot guarantee window is set with -hours
-// (so -h keeps its conventional meaning: print usage).
+// (so -h keeps its conventional meaning: print usage). -scenario
+// injects a named storm profile (rack-failure, zone-cascade,
+// diurnal-storm, random-storms); runs are deterministic, so repeated
+// invocations print identical metrics.
 package main
 
 import (
@@ -32,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 17, "trace seed")
 	guarantee := flag.Int("hours", 1, "spot guarantee hours (GFS variants)")
 	events := flag.Int("events", 0, "print the first N simulator events")
+	scenario := flag.String("scenario", "", "named scenario profile (rack-failure, zone-cascade, diurnal-storm, random-storms)")
 	flag.Parse()
 
 	scale := experiments.SmallScale()
@@ -44,6 +49,14 @@ func main() {
 		*nodes, len(tasks), *days)
 
 	var extra []gfs.Option
+	if *scenario != "" {
+		sc, err := scale.NamedScenario(*scenario)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("scenario: %s (%d actions)\n", *scenario, sc.Len())
+		extra = append(extra, gfs.WithScenario(sc))
+	}
 	if *events > 0 {
 		remaining := *events
 		extra = append(extra, gfs.WithObserver(gfs.ObserverFunc(func(e gfs.Event) {

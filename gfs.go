@@ -112,6 +112,16 @@ func NewCluster(model string, nodes, gpusPerNode int) *Cluster {
 	return cluster.NewHomogeneous(model, nodes, gpusPerNode)
 }
 
+// NewClusterWithTopology builds a homogeneous cluster and lays a
+// zones × racksPerZone failure-domain topology over it (see
+// Cluster.AssignDomains). Correlated-failure scenarios target the
+// resulting "zone-<z>/rack-<r>" domains.
+func NewClusterWithTopology(model string, nodes, gpusPerNode, zones, racksPerZone int) *Cluster {
+	cl := cluster.NewHomogeneous(model, nodes, gpusPerNode)
+	cl.AssignDomains(zones, racksPerZone)
+	return cl
+}
+
 // Pool describes one slice of a heterogeneous cluster.
 type Pool = cluster.Pool
 
@@ -230,11 +240,20 @@ func SyntheticDemandPanel(hours int, totalGPUs float64, seed int64) map[string][
 	return panel
 }
 
-// Baseline schedulers from the paper's comparison (§4.1).
-func NewYARNCS() Scheduler         { return baselines.NewYARNCS() }
-func NewChronus() Scheduler        { return baselines.NewChronus() }
-func NewLyra() Scheduler           { return baselines.NewLyra() }
-func NewFGD() Scheduler            { return baselines.NewFGD() }
+// NewYARNCS builds the YARN capacity scheduler baseline (§4.1).
+func NewYARNCS() Scheduler { return baselines.NewYARNCS() }
+
+// NewChronus builds the Chronus lease-based baseline (§4.1).
+func NewChronus() Scheduler { return baselines.NewChronus() }
+
+// NewLyra builds the Lyra capacity-loaning baseline (§4.1).
+func NewLyra() Scheduler { return baselines.NewLyra() }
+
+// NewFGD builds the fragmentation-gradient-descent baseline (§4.1).
+func NewFGD() Scheduler { return baselines.NewFGD() }
+
+// NewStaticFirstFit builds the pre-GFS production scheduler: first
+// fit under a static spot quota (Fig. 1).
 func NewStaticFirstFit() Scheduler { return baselines.NewStaticFirstFit() }
 
 // StaticQuota reserves a fixed fraction of capacity for spot tasks

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Cluster is a set of nodes, indexed by GPU model for heterogeneous
@@ -84,6 +85,102 @@ func (c *Cluster) MaxNodeID() int {
 		}
 	}
 	return maxID
+}
+
+// DomainName returns the canonical failure-domain name of rack r in
+// zone z — the single source of truth for the names AssignDomains
+// stamps and scenario generators target.
+func DomainName(zone, rack int) string {
+	return fmt.Sprintf("zone-%d/rack-%d", zone, rack)
+}
+
+// AssignDomains lays a zones × racksPerZone failure-domain topology
+// over the cluster: nodes are split into contiguous ID-ordered blocks,
+// one block per rack, and stamped with DomainName domains.
+// Correlated-failure scenario actions target these domains. Node
+// counts that do not divide evenly leave the last rack(s) short,
+// never empty; zones or racksPerZone < 1 are treated as 1.
+func (c *Cluster) AssignDomains(zones, racksPerZone int) {
+	if zones < 1 {
+		zones = 1
+	}
+	if racksPerZone < 1 {
+		racksPerZone = 1
+	}
+	racks := zones * racksPerZone
+	n := len(c.nodes)
+	for i, node := range c.nodes {
+		// Rack r gets nodes [r*n/racks, (r+1)*n/racks): contiguous,
+		// balanced to within one node, no empty racks while n ≥ racks.
+		r := i * racks / n
+		node.Domain = DomainName(r/racksPerZone, r%racksPerZone)
+	}
+}
+
+// Domains returns the distinct non-empty failure domains, sorted.
+func (c *Cluster) Domains() []string {
+	seen := make(map[string]bool)
+	for _, n := range c.nodes {
+		if n.Domain != "" {
+			seen[n.Domain] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NodesInDomain returns the nodes whose Domain equals domain or lives
+// under it (domain "zone-0" matches "zone-0/rack-1"), in ID order. An
+// empty domain matches nothing.
+func (c *Cluster) NodesInDomain(domain string) []*Node {
+	if domain == "" {
+		return nil
+	}
+	var out []*Node
+	for _, n := range c.nodes {
+		if n.Domain == domain || strings.HasPrefix(n.Domain, domain+"/") {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SiblingDomains returns the domains that share domain's parent (the
+// path up to the last '/'), sorted and excluding domain itself. A
+// top-level domain's siblings are all other top-level prefixes. It is
+// the blast-radius set cascading failures spread into.
+func (c *Cluster) SiblingDomains(domain string) []string {
+	parent := ""
+	if i := strings.LastIndex(domain, "/"); i >= 0 {
+		parent = domain[:i+1]
+	}
+	seen := make(map[string]bool)
+	for _, d := range c.Domains() {
+		if d == domain || !strings.HasPrefix(d, parent) {
+			continue
+		}
+		// For top-level domains compare only the first path element
+		// so "zone-0/rack-1" is not a sibling of "zone-1".
+		if parent == "" {
+			if j := strings.Index(d, "/"); j >= 0 {
+				d = d[:j]
+			}
+			if d == domain {
+				continue
+			}
+		}
+		seen[d] = true
+	}
+	out := make([]string, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // UpNodes counts nodes that are not down.

@@ -34,6 +34,11 @@ type gpu struct {
 type Node struct {
 	ID    int
 	Model string
+	// Domain is the node's failure domain, a slash-separated path
+	// from the coarsest to the finest level ("zone-0/rack-2").
+	// Nodes sharing a domain fail together under correlated-failure
+	// scenario actions; empty means no topology information.
+	Domain string
 
 	gpus []gpu
 

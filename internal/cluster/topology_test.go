@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestAssignDomainsBalanced(t *testing.T) {
+	c := NewHomogeneous("A100", 16, 8)
+	c.AssignDomains(2, 4)
+	domains := c.Domains()
+	want := []string{
+		"zone-0/rack-0", "zone-0/rack-1", "zone-0/rack-2", "zone-0/rack-3",
+		"zone-1/rack-0", "zone-1/rack-1", "zone-1/rack-2", "zone-1/rack-3",
+	}
+	if !reflect.DeepEqual(domains, want) {
+		t.Fatalf("domains = %v, want %v", domains, want)
+	}
+	for _, d := range domains {
+		if got := len(c.NodesInDomain(d)); got != 2 {
+			t.Fatalf("domain %s has %d nodes, want 2", d, got)
+		}
+	}
+	// Contiguous ID blocks: node 0 and 1 share the first rack.
+	if c.Node(0).Domain != "zone-0/rack-0" || c.Node(1).Domain != "zone-0/rack-0" {
+		t.Fatalf("nodes 0,1 in %s,%s, want zone-0/rack-0",
+			c.Node(0).Domain, c.Node(1).Domain)
+	}
+}
+
+func TestAssignDomainsUnevenLeavesNoEmptyRack(t *testing.T) {
+	c := NewHomogeneous("A100", 10, 8)
+	c.AssignDomains(2, 2)
+	if got := len(c.Domains()); got != 4 {
+		t.Fatalf("10 nodes over 4 racks produced %d domains, want 4", got)
+	}
+	total := 0
+	for _, d := range c.Domains() {
+		n := len(c.NodesInDomain(d))
+		if n < 2 || n > 3 {
+			t.Fatalf("rack %s has %d nodes, want 2 or 3", d, n)
+		}
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("racks cover %d nodes, want 10", total)
+	}
+}
+
+func TestNodesInDomainMatchesParent(t *testing.T) {
+	c := NewHomogeneous("A100", 8, 8)
+	c.AssignDomains(2, 2)
+	if got := len(c.NodesInDomain("zone-0")); got != 4 {
+		t.Fatalf("zone-0 covers %d nodes, want 4", got)
+	}
+	if got := c.NodesInDomain("zone"); got != nil {
+		t.Fatalf("prefix without a path boundary matched %d nodes, want none", len(got))
+	}
+	if got := c.NodesInDomain(""); got != nil {
+		t.Fatal("empty domain must match nothing")
+	}
+}
+
+func TestSiblingDomains(t *testing.T) {
+	c := NewHomogeneous("A100", 8, 8)
+	c.AssignDomains(2, 2)
+	sibs := c.SiblingDomains("zone-0/rack-0")
+	if !reflect.DeepEqual(sibs, []string{"zone-0/rack-1"}) {
+		t.Fatalf("rack siblings = %v, want [zone-0/rack-1]", sibs)
+	}
+	top := c.SiblingDomains("zone-0")
+	if !reflect.DeepEqual(top, []string{"zone-1"}) {
+		t.Fatalf("zone siblings = %v, want [zone-1]", top)
+	}
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	gfs "github.com/sjtucitlab/gfs"
+	"github.com/sjtucitlab/gfs/internal/baselines"
+	"github.com/sjtucitlab/gfs/internal/cluster"
+	"github.com/sjtucitlab/gfs/internal/sched"
+	"github.com/sjtucitlab/gfs/internal/simclock"
+)
+
+// scenarioBuilders maps profile name → constructor. Every profile is
+// deterministic in the scale alone, so repeated runs — serial or
+// batched at any worker count — produce identical metrics.
+var scenarioBuilders = map[string]func(SimScale) *gfs.Scenario{
+	// rack-failure: one rack goes dark at hour 6 and returns three
+	// hours later — the canonical correlated single-domain outage.
+	"rack-failure": func(s SimScale) *gfs.Scenario {
+		return gfs.NewScenario().
+			FailDomain(6*simclock.Hour, "zone-0/rack-0").
+			RestoreDomain(9*simclock.Hour, "zone-0/rack-0")
+	},
+	// zone-cascade: a rack failure at hour 6 that spreads to sibling
+	// racks with probability 0.6 (halving per hop); the whole zone is
+	// restored at hour 12.
+	"zone-cascade": func(s SimScale) *gfs.Scenario {
+		return gfs.NewScenario().
+			CascadeFailure(6*simclock.Hour, "zone-0/rack-0", 0.6, 10*simclock.Minute, s.Seed).
+			RestoreDomain(12*simclock.Hour, "zone-0")
+	},
+	// diurnal-storm: hourly spot reclamation bursts over the whole
+	// trace, peaking at 14:00 and scaled by A100 price pressure —
+	// the time-of-day reclamation wave the forecasting layer exists
+	// to anticipate.
+	"diurnal-storm": func(s SimScale) *gfs.Scenario {
+		return gfs.NewScenario().DiurnalReclamation(
+			0, simclock.Duration(s.Days)*simclock.Day, simclock.Hour,
+			gfs.DefaultDiurnalProfile("A100"))
+	},
+	// random-storms: a seeded random mix of cascading rack failures
+	// (restored after 2 h) and reclamation bursts, roughly one storm
+	// every 4 hours.
+	"random-storms": func(s SimScale) *gfs.Scenario {
+		return gfs.RandomStorms(seededRand(s.Seed+4242), gfs.StormProfile{
+			Horizon:      simclock.Duration(s.Days) * simclock.Day,
+			MeanInterval: 4 * simclock.Hour,
+			Domains:      s.domainNames(),
+			FailureProb:  0.4,
+			CascadeP:     0.3,
+			RestoreAfter: 2 * simclock.Hour,
+		})
+	},
+}
+
+// domainNames enumerates the scale's rack domains without building a
+// throwaway cluster, via the same cluster.DomainName scheme
+// AssignDomains stamps. The experiment scales always have at least
+// one node per rack, so every name is populated.
+func (s SimScale) domainNames() []string {
+	if s.Zones <= 0 {
+		return nil
+	}
+	racks := s.RacksPerZone
+	if racks < 1 {
+		racks = 1
+	}
+	names := make([]string, 0, s.Zones*racks)
+	for z := 0; z < s.Zones; z++ {
+		for r := 0; r < racks; r++ {
+			names = append(names, cluster.DomainName(z, r))
+		}
+	}
+	return names
+}
+
+// ScenarioNames lists the named scenario profiles, sorted.
+func ScenarioNames() []string {
+	names := make([]string, 0, len(scenarioBuilders))
+	for n := range scenarioBuilders {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NamedScenario builds a named scenario profile sized to the scale.
+func (s SimScale) NamedScenario(name string) (*gfs.Scenario, error) {
+	build, ok := scenarioBuilders[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown scenario %q (have %s)",
+			name, strings.Join(ScenarioNames(), ", "))
+	}
+	return build(s), nil
+}
+
+// StormRow is one scheduler × scenario cell of the correlated-failure
+// experiment.
+type StormRow struct {
+	Scenario, Scheduler string
+	EvictionRate        float64
+	AllocationRate      float64
+	HPJCT               float64
+	SpotJQT             float64
+	Unfinished          int
+}
+
+// StormExperiment measures how scheduling quality diverges under
+// correlated capacity loss: it runs the reactive GFS stack and the
+// pre-GFS static-quota first-fit baseline under each named scenario
+// (plus a calm baseline run) on the same trace, reporting eviction
+// rate, allocation rate, HP JCT and unfinished tasks per cell.
+func StormExperiment(scale SimScale) ([]StormRow, error) {
+	tasksFor := func() []*gfs.Task { return scale.Trace(2) }
+	scenarios := append([]string{"none"}, ScenarioNames()...)
+	var rows []StormRow
+	for _, name := range scenarios {
+		var extra []gfs.Option
+		if name != "none" {
+			sc, err := scale.NamedScenario(name)
+			if err != nil {
+				return nil, err
+			}
+			extra = append(extra, gfs.WithScenario(sc))
+		}
+		// Reactive GFS (PTS + SQA without an estimator) keeps the
+		// experiment cheap enough for the test scale.
+		gfsRes := gfs.NewEngine(scale.NewCluster(), extra...).Run(tasksFor())
+		ffRes := gfs.NewEngine(scale.NewCluster(),
+			append([]gfs.Option{
+				gfs.WithScheduler(baselines.NewStaticFirstFit()),
+				gfs.WithQuota(sched.StaticQuota{Fraction: 0.25}),
+			}, extra...)...).Run(tasksFor())
+		for _, r := range []*sched.Result{gfsRes, ffRes} {
+			rows = append(rows, StormRow{
+				Scenario:       name,
+				Scheduler:      r.SchedulerName,
+				EvictionRate:   r.Spot.EvictionRate,
+				AllocationRate: r.AllocationRate,
+				HPJCT:          r.HP.JCT,
+				SpotJQT:        r.Spot.JQT,
+				Unfinished:     r.UnfinishedHP + r.UnfinishedSpot,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FormatStorm renders the correlated-failure experiment as a table.
+func FormatStorm(rows []StormRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-14s %-14s %9s %9s %10s %10s %6s\n",
+		"Scenario", "Scheduler", "Evict%", "Alloc%", "HP JCT(s)", "JQT(s)", "Unfin")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %-14s %8.2f%% %8.2f%% %10.1f %10.1f %6d\n",
+			r.Scenario, r.Scheduler, 100*r.EvictionRate, 100*r.AllocationRate,
+			r.HPJCT, r.SpotJQT, r.Unfinished)
+	}
+	return b.String()
+}

@@ -21,6 +21,27 @@ func DefaultTable() Table {
 	}
 }
 
+// Pressure returns the model's reclamation-pressure multiplier: its
+// on-demand price divided by the table's mean price. Pricier GPUs see
+// proportionally more on-demand demand and therefore more spot
+// reclamation — the scenario layer scales diurnal reclamation
+// intensity by it. Unknown models and empty tables yield 1.
+func (t Table) Pressure(model string) float64 {
+	price, ok := t[model]
+	if !ok {
+		return 1
+	}
+	mean := 0.0
+	for _, p := range t {
+		mean += p
+	}
+	mean /= float64(len(t))
+	if mean <= 0 {
+		return 1
+	}
+	return price / mean
+}
+
 // HoursPerMonth is the billing convention (730 h).
 const HoursPerMonth = 730.0
 

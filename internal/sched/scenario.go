@@ -26,6 +26,17 @@ const (
 	// fraction of currently held spot GPUs is reclaimed (a spot
 	// reclamation burst, oldest task IDs first).
 	OpReclaimSpot
+	// OpDomainDown fails every node in a failure domain atomically
+	// (one timestamp, ID order) — a correlated rack or zone outage.
+	// With CascadeP > 0 the failure spreads to each sibling domain
+	// independently with that probability after CascadeDelay, with
+	// the probability decaying by CascadeDecay per hop.
+	OpDomainDown
+	// OpDomainUp restores every failed or drained node in a domain.
+	OpDomainUp
+	// OpDomainDrain cordons every node in a domain and evicts their
+	// spot tasks; HP pods run to completion.
+	OpDomainDrain
 )
 
 // String implements fmt.Stringer.
@@ -41,6 +52,12 @@ func (o ScenarioOp) String() string {
 		return "ScaleOut"
 	case OpReclaimSpot:
 		return "ReclaimSpot"
+	case OpDomainDown:
+		return "DomainDown"
+	case OpDomainUp:
+		return "DomainUp"
+	case OpDomainDrain:
+		return "DomainDrain"
 	default:
 		return "ScenarioOp(?)"
 	}
@@ -58,6 +75,22 @@ type ScenarioAction struct {
 	// Fraction of held spot GPUs to take in an OpReclaimSpot,
 	// in (0, 1].
 	Fraction float64
+	// Domain targets OpDomainDown / OpDomainUp / OpDomainDrain.
+	Domain string
+	// CascadeP is the per-sibling-domain probability that an
+	// OpDomainDown spreads; zero disables cascading.
+	CascadeP float64
+	// CascadeDecay multiplies CascadeP on each hop (defaults to 0.5
+	// when zero), so cascades always die out.
+	CascadeDecay float64
+	// CascadeDelay is the simulated lag before a spread failure
+	// lands on a sibling domain.
+	CascadeDelay simclock.Duration
+	// Seed drives the cascade's probability draws. The effective
+	// per-hop stream also mixes in the firing time and domain, so
+	// repeated or shifted copies of one action draw independently
+	// while every run of the same scenario stays byte-identical.
+	Seed int64
 }
 
 // SortActions orders actions by time, preserving the relative order

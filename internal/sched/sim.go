@@ -1,7 +1,9 @@
 package sched
 
 import (
+	"hash/fnv"
 	"math"
+	"math/rand"
 	"sort"
 
 	"github.com/sjtucitlab/gfs/internal/cluster"
@@ -350,53 +352,159 @@ func (s *Simulator) updateQuota() {
 	}
 }
 
+// failNode kills one node: emits NodeDown and releases and requeues
+// its tasks. It reports whether the node was up; callers refresh the
+// capacity tracker (once per action, not per node).
+func (s *Simulator) failNode(n *cluster.Node) bool {
+	if n == nil || n.Down() {
+		return false
+	}
+	if s.hasObs {
+		s.emit(Event{Kind: NodeDown, Node: n})
+	}
+	victims, locs := s.state.KillNode(n)
+	n.SetDown(true)
+	for i, v := range victims {
+		s.evictVictim(v, CauseNodeFailure, locs[i])
+	}
+	return true
+}
+
+// restoreNode returns a failed or drained node to service. It reports
+// whether the node needed restoring; callers refresh the capacity
+// tracker.
+func (s *Simulator) restoreNode(n *cluster.Node) bool {
+	if n == nil || n.Schedulable() {
+		return false
+	}
+	n.SetDown(false)
+	if s.hasObs {
+		s.emit(Event{Kind: NodeUp, Node: n})
+	}
+	return true
+}
+
+// drainNode cordons one node and evicts its spot tasks. It reports
+// whether the node was schedulable.
+func (s *Simulator) drainNode(n *cluster.Node) bool {
+	if n == nil || !n.Schedulable() {
+		return false
+	}
+	n.SetCordoned(true)
+	if s.hasObs {
+		s.emit(Event{Kind: NodeDown, Node: n})
+	}
+	for _, v := range n.SpotTasks() {
+		locs := s.state.NodesOf(v)
+		s.state.ReleaseAll(v)
+		s.evictVictim(v, CauseDrained, locs)
+	}
+	return true
+}
+
+// cascadeFailure schedules spread copies of a domain failure onto
+// sibling domains. Each sibling is hit independently with probability
+// a.CascadeP, after a.CascadeDelay, at a.CascadeP×decay for the next
+// hop. The draw stream is seeded from (Seed, firing time, domain), so
+// it is deterministic per run yet independent across repeats of the
+// same action at different times. Because spread copies are pushed
+// mid-run, a copy landing at the exact timestamp of a task's finish
+// resolves by push order (unlike pre-queued scenario actions, which
+// always win such ties) — still deterministic, just not biased
+// toward the failure.
+func (s *Simulator) cascadeFailure(a ScenarioAction) {
+	decay := a.CascadeDecay
+	if decay <= 0 {
+		decay = 0.5
+	}
+	h := fnv.New64a()
+	h.Write([]byte(a.Domain))
+	rng := rand.New(rand.NewSource(a.Seed ^ int64(s.now)*0x5851F42D4C957F2D ^ int64(h.Sum64())))
+	for _, sib := range s.state.Cluster.SiblingDomains(a.Domain) {
+		if rng.Float64() >= a.CascadeP {
+			continue
+		}
+		child := a
+		child.Domain = sib
+		child.CascadeP = a.CascadeP * decay
+		// Probabilities below 1% cannot meaningfully spread; cutting
+		// them bounds cascade depth.
+		if child.CascadeP < 0.01 {
+			child.CascadeP = 0
+		}
+		child.At = s.now.Add(a.CascadeDelay)
+		s.queue.Push(child.At, scenarioEvent{action: child})
+	}
+}
+
 // applyScenario performs one timed cluster mutation and reports
 // whether a scheduling pass should follow.
 func (s *Simulator) applyScenario(a ScenarioAction) bool {
 	cl := s.state.Cluster
 	switch a.Op {
 	case OpNodeDown:
-		n := cl.Node(a.NodeID)
-		if n == nil || n.Down() {
+		if !s.failNode(cl.Node(a.NodeID)) {
 			return false
 		}
-		if s.hasObs {
-			s.emit(Event{Kind: NodeDown, Node: n})
-		}
-		victims, locs := s.state.KillNode(n)
-		n.SetDown(true)
 		s.alloc.SetCapacity(s.now, cl.TotalGPUs(""))
-		for i, v := range victims {
-			s.evictVictim(v, CauseNodeFailure, locs[i])
-		}
 		s.alloc.Observe(s.now, cl.UsedGPUs(""))
 		s.lastProgress = s.now
 		return true
 	case OpNodeUp:
-		n := cl.Node(a.NodeID)
-		if n == nil || n.Schedulable() {
+		if !s.restoreNode(cl.Node(a.NodeID)) {
 			return false
 		}
-		n.SetDown(false)
 		s.alloc.SetCapacity(s.now, cl.TotalGPUs(""))
-		if s.hasObs {
-			s.emit(Event{Kind: NodeUp, Node: n})
-		}
 		s.lastProgress = s.now
 		return true
 	case OpNodeDrain:
-		n := cl.Node(a.NodeID)
-		if n == nil || !n.Schedulable() {
+		if !s.drainNode(cl.Node(a.NodeID)) {
 			return false
 		}
-		n.SetCordoned(true)
-		if s.hasObs {
-			s.emit(Event{Kind: NodeDown, Node: n})
+		s.alloc.Observe(s.now, cl.UsedGPUs(""))
+		s.lastProgress = s.now
+		return true
+	case OpDomainDown:
+		any := false
+		for _, n := range cl.NodesInDomain(a.Domain) {
+			if s.failNode(n) {
+				any = true
+			}
 		}
-		for _, v := range n.SpotTasks() {
-			locs := s.state.NodesOf(v)
-			s.state.ReleaseAll(v)
-			s.evictVictim(v, CauseDrained, locs)
+		if !any {
+			return false
+		}
+		// Only a domain that newly lost nodes spreads, so a cascade
+		// cannot bounce between already-dark domains.
+		if a.CascadeP > 0 {
+			s.cascadeFailure(a)
+		}
+		s.alloc.SetCapacity(s.now, cl.TotalGPUs(""))
+		s.alloc.Observe(s.now, cl.UsedGPUs(""))
+		s.lastProgress = s.now
+		return true
+	case OpDomainUp:
+		any := false
+		for _, n := range cl.NodesInDomain(a.Domain) {
+			if s.restoreNode(n) {
+				any = true
+			}
+		}
+		if !any {
+			return false
+		}
+		s.alloc.SetCapacity(s.now, cl.TotalGPUs(""))
+		s.lastProgress = s.now
+		return true
+	case OpDomainDrain:
+		any := false
+		for _, n := range cl.NodesInDomain(a.Domain) {
+			if s.drainNode(n) {
+				any = true
+			}
+		}
+		if !any {
+			return false
 		}
 		s.alloc.Observe(s.now, cl.UsedGPUs(""))
 		s.lastProgress = s.now

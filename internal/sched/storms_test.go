@@ -1,0 +1,111 @@
+package sched
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/timefeat"
+)
+
+func TestDiurnalProfilePeaksAtConfiguredHour(t *testing.T) {
+	p := DiurnalProfile{
+		Curve: timefeat.DiurnalCurve{PeakHour: 14, Width: 3},
+		Base:  0.05, Peak: 0.5,
+	}
+	peak := p.Intensity(simclock.Time(14 * simclock.Hour))
+	trough := p.Intensity(simclock.Time(2 * simclock.Hour))
+	if peak < 0.49 || peak > 0.5+1e-9 {
+		t.Fatalf("peak intensity = %f, want ≈0.5", peak)
+	}
+	if trough >= peak/2 {
+		t.Fatalf("trough %f not clearly below peak %f", trough, peak)
+	}
+	if trough < 0.05 {
+		t.Fatalf("trough %f below base", trough)
+	}
+}
+
+func TestDiurnalProfileWeekendDamping(t *testing.T) {
+	p := DiurnalProfile{
+		Curve: timefeat.DiurnalCurve{PeakHour: 14, Width: 3, WeekendFactor: 0.25},
+		Base:  0, Peak: 0.4,
+	}
+	// Epoch is a Monday; day 5 is Saturday.
+	weekday := p.Intensity(simclock.Time(14 * simclock.Hour))
+	weekend := p.Intensity(simclock.Time(5*simclock.Day + 14*simclock.Hour))
+	if weekend >= weekday/2 {
+		t.Fatalf("weekend peak %f not damped vs weekday %f", weekend, weekday)
+	}
+}
+
+func TestDiurnalProfilePressureScalesAndClamps(t *testing.T) {
+	p := DiurnalProfile{Curve: timefeat.DiurnalCurve{PeakHour: 12}, Base: 0.3, Peak: 0.8}
+	base := p.Intensity(simclock.Time(12 * simclock.Hour))
+	p.Pressure = 2
+	if got := p.Intensity(simclock.Time(12 * simclock.Hour)); got != 1 {
+		t.Fatalf("pressure 2 on %f should clamp to 1, got %f", base, got)
+	}
+	p.Pressure = 0.5
+	if got := p.Intensity(simclock.Time(12 * simclock.Hour)); got >= base {
+		t.Fatalf("pressure 0.5 should reduce intensity: %f !< %f", got, base)
+	}
+}
+
+func TestDiurnalReclamationElidesZeroBursts(t *testing.T) {
+	p := DiurnalProfile{
+		Curve: timefeat.DiurnalCurve{PeakHour: 12, Width: 1},
+		Base:  0, Peak: 0.5,
+	}
+	actions := DiurnalReclamation(p, 0, simclock.Time(simclock.Day), simclock.Hour)
+	if len(actions) == 0 || len(actions) >= 24 {
+		t.Fatalf("got %d bursts; want >0 and <24 (overnight elided)", len(actions))
+	}
+	for _, a := range actions {
+		if a.Op != OpReclaimSpot || a.Fraction <= 0 || a.Fraction > 1 {
+			t.Fatalf("bad action %+v", a)
+		}
+	}
+}
+
+func TestRandomStormsDeterministic(t *testing.T) {
+	profile := StormProfile{
+		Horizon:      3 * simclock.Day,
+		MeanInterval: 2 * simclock.Hour,
+		Domains:      []string{"zone-0/rack-0", "zone-0/rack-1", "zone-1/rack-0"},
+		FailureProb:  0.5,
+		CascadeP:     0.4,
+		RestoreAfter: simclock.Hour,
+	}
+	a := RandomStorms(rand.New(rand.NewSource(42)), profile)
+	b := RandomStorms(rand.New(rand.NewSource(42)), profile)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed must generate identical storm schedules")
+	}
+	c := RandomStorms(rand.New(rand.NewSource(43)), profile)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds should differ")
+	}
+	if len(a) == 0 {
+		t.Fatal("3-day horizon with 2h mean interval generated no storms")
+	}
+	for _, act := range a {
+		if act.At >= simclock.Time(profile.Horizon) && act.Op != OpDomainUp {
+			t.Fatalf("storm at %d beyond horizon", act.At)
+		}
+	}
+}
+
+func TestDomainParent(t *testing.T) {
+	cases := map[string]string{
+		"zone-0/rack-1": "zone-0",
+		"zone-3":        "zone-3",
+		"a/b/c":         "a/b",
+	}
+	for in, want := range cases {
+		if got := domainParent(in); got != want {
+			t.Fatalf("domainParent(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,9 +1,15 @@
 // Package timefeat extracts the temporal features OrgLinear embeds:
 // hour of day, weekday, and holiday indicators (Eq. 3 of the paper).
-// The simulation epoch is hour 0 of a Monday.
+// The simulation epoch is hour 0 of a Monday. It also provides the
+// smooth diurnal activity curve the scenario layer uses to shape
+// time-of-day reclamation intensity.
 package timefeat
 
-import "github.com/sjtucitlab/gfs/internal/simclock"
+import (
+	"math"
+
+	"github.com/sjtucitlab/gfs/internal/simclock"
+)
 
 // Features is the decoded temporal context of one timestamp.
 type Features struct {
@@ -63,3 +69,49 @@ func (f Features) IsWeekend() bool { return f.Weekday >= 5 }
 // Dims returns the embedding vocabulary sizes for (hour, weekday,
 // holiday) features.
 func Dims() (hours, weekdays, holiday int) { return 24, 7, 2 }
+
+// DiurnalCurve is a smooth daily activity shape: a Gaussian bump of
+// the given width (hours, standard deviation) centered on PeakHour,
+// evaluated on the 24-hour circle. Weight is 1 at the peak and decays
+// toward 0 at the antipodal hour; weekends and holidays are damped by
+// their factors (1 = no damping). The scenario layer uses it to make
+// spot reclamation pressure follow business hours.
+type DiurnalCurve struct {
+	// PeakHour is the hour of day [0,24) of maximum activity.
+	PeakHour int
+	// Width is the bump's standard deviation in hours (defaults to
+	// 4 when ≤ 0).
+	Width float64
+	// WeekendFactor scales the weight on Saturdays and Sundays; zero
+	// (and 1) mean no damping.
+	WeekendFactor float64
+	// HolidayFactor scales the weight on calendar holidays; zero
+	// (and 1) mean no damping.
+	HolidayFactor float64
+}
+
+// Weight evaluates the curve at the given features, in [0,1].
+func (c DiurnalCurve) Weight(f Features) float64 {
+	width := c.Width
+	if width <= 0 {
+		width = 4
+	}
+	// Circular hour distance: 23:00 is one hour from 00:00.
+	d := math.Abs(float64(f.Hour - c.PeakHour))
+	if d > 12 {
+		d = 24 - d
+	}
+	w := math.Exp(-d * d / (2 * width * width))
+	if f.IsWeekend() && c.WeekendFactor > 0 {
+		w *= c.WeekendFactor
+	}
+	if f.Holiday && c.HolidayFactor > 0 {
+		w *= c.HolidayFactor
+	}
+	return w
+}
+
+// WeightAt evaluates the curve at time t under cal's calendar.
+func (c DiurnalCurve) WeightAt(cal *Calendar, t simclock.Time) float64 {
+	return c.Weight(cal.At(t))
+}

@@ -1,14 +1,23 @@
 package gfs
 
-import "github.com/sjtucitlab/gfs/internal/sched"
+import (
+	"math/rand"
+
+	"github.com/sjtucitlab/gfs/internal/pricing"
+	"github.com/sjtucitlab/gfs/internal/sched"
+	"github.com/sjtucitlab/gfs/internal/timefeat"
+)
 
 // ScenarioAction is one timed cluster mutation.
 type ScenarioAction = sched.ScenarioAction
 
 // Scenario is a timed script of cluster mutations fed into a
 // simulation's event queue: node failures and restores, drains,
-// capacity scale-out, and spot reclamation bursts. Build one with the
-// fluent methods and attach it via WithScenario:
+// capacity scale-out, spot reclamation bursts, correlated (and
+// cascading) failure-domain outages, and diurnal reclamation storms.
+// Scenarios are plain data — build one with the fluent methods or the
+// generators (RandomStorms), combine with Compose and Repeat, and
+// attach it via WithScenario:
 //
 //	sc := gfs.NewScenario().
 //		KillNodes(6*gfs.Hour, 3, 4).
@@ -74,6 +83,51 @@ func (s *Scenario) ReclaimSpot(at Duration, fraction float64) *Scenario {
 	return s.add(ScenarioAction{At: Time(0).Add(at), Op: sched.OpReclaimSpot, Fraction: fraction})
 }
 
+// FailDomain fails every node in a failure domain atomically at time
+// at — a correlated rack or zone outage. Domains are assigned with
+// Cluster.AssignDomains (or by setting Node.Domain directly); a
+// parent domain ("zone-0") covers all its children ("zone-0/rack-1").
+func (s *Scenario) FailDomain(at Duration, domain string) *Scenario {
+	return s.add(ScenarioAction{At: Time(0).Add(at), Op: sched.OpDomainDown, Domain: domain})
+}
+
+// CascadeFailure fails domain at time at and spreads the failure to
+// each sibling domain independently with probability p after delay,
+// halving p per hop so cascades die out. seed drives the spread draws
+// deterministically: one run of a scenario is byte-for-byte
+// reproducible at any RunBatch worker count.
+func (s *Scenario) CascadeFailure(at Duration, domain string, p float64, delay Duration, seed int64) *Scenario {
+	return s.add(ScenarioAction{
+		At: Time(0).Add(at), Op: sched.OpDomainDown, Domain: domain,
+		CascadeP: p, CascadeDelay: delay, Seed: seed,
+	})
+}
+
+// RestoreDomain returns every failed or drained node in a domain to
+// service at time at.
+func (s *Scenario) RestoreDomain(at Duration, domain string) *Scenario {
+	return s.add(ScenarioAction{At: Time(0).Add(at), Op: sched.OpDomainUp, Domain: domain})
+}
+
+// DrainDomain cordons every node in a domain at time at and evicts
+// their spot tasks; HP pods run to completion.
+func (s *Scenario) DrainDomain(at Duration, domain string) *Scenario {
+	return s.add(ScenarioAction{At: Time(0).Add(at), Op: sched.OpDomainDrain, Domain: domain})
+}
+
+// DiurnalReclamation appends a reclamation storm: one spot
+// reclamation burst every interval over [start, end), whose fraction
+// follows the profile's daily curve — peaking at the configured hour,
+// damped on weekends/holidays, scaled by price pressure. It is how
+// the diurnal availability patterns the forecasting layer predicts
+// enter an end-to-end simulation.
+func (s *Scenario) DiurnalReclamation(start, end Duration, every Duration, p DiurnalProfile) *Scenario {
+	for _, a := range sched.DiurnalReclamation(p, Time(0).Add(start), Time(0).Add(end), every) {
+		s.add(a)
+	}
+	return s
+}
+
 // Actions returns the scenario's mutations sorted by time, preserving
 // insertion order within a timestamp.
 func (s *Scenario) Actions() []ScenarioAction {
@@ -82,3 +136,96 @@ func (s *Scenario) Actions() []ScenarioAction {
 
 // Len returns the number of actions.
 func (s *Scenario) Len() int { return len(s.actions) }
+
+// Diurnal and storm profiles, re-exported from the simulator core.
+type (
+	// DiurnalProfile shapes time-of-day spot reclamation intensity
+	// between a base and a peak fraction.
+	DiurnalProfile = sched.DiurnalProfile
+	// StormProfile parameterizes RandomStorms.
+	StormProfile = sched.StormProfile
+	// DiurnalCurve is a smooth daily activity shape peaked at a
+	// configured hour.
+	DiurnalCurve = timefeat.DiurnalCurve
+	// Calendar resolves simulated timestamps to hour/weekday/holiday
+	// features.
+	Calendar = timefeat.Calendar
+)
+
+// NewCalendar creates a calendar with the given holiday day indices
+// (zero-based days since the simulation epoch, which is a Monday).
+func NewCalendar(holidays ...int) *Calendar { return timefeat.NewCalendar(holidays...) }
+
+// DefaultDiurnalProfile returns a business-hours reclamation profile
+// for the given GPU model: intensity peaks at 14:00, troughs
+// overnight, drops to 40% on weekends, and is scaled by the model's
+// list-price pressure (pricier pools see more reclamation). Tune the
+// returned profile as needed.
+func DefaultDiurnalProfile(model string) DiurnalProfile {
+	return DiurnalProfile{
+		Curve: DiurnalCurve{PeakHour: 14, Width: 4, WeekendFactor: 0.4},
+		Base:  0.02,
+		Peak:  0.25,
+		// Price pressure ties reclamation to the market value of the
+		// pool's capacity (see internal/pricing).
+		Pressure: pricing.DefaultTable().Pressure(model),
+	}
+}
+
+// CorrelatedFailure returns a scenario that fails every node in a
+// failure domain atomically at time at. Shorthand for
+// NewScenario().FailDomain(at, domain); compose with Compose.
+func CorrelatedFailure(at Duration, domain string) *Scenario {
+	return NewScenario().FailDomain(at, domain)
+}
+
+// CascadingFailure returns a scenario that fails a domain at time at
+// and spreads to sibling domains with probability p after delay (see
+// Scenario.CascadeFailure).
+func CascadingFailure(at Duration, domain string, p float64, delay Duration, seed int64) *Scenario {
+	return NewScenario().CascadeFailure(at, domain, p, delay, seed)
+}
+
+// Compose merges scenarios into one. Actions keep their own times;
+// actions sharing a timestamp apply in argument order. Nil scenarios
+// are skipped and the inputs are not modified.
+func Compose(scenarios ...*Scenario) *Scenario {
+	out := NewScenario()
+	for _, sc := range scenarios {
+		if sc == nil {
+			continue
+		}
+		out.actions = append(out.actions, sc.actions...)
+	}
+	return out
+}
+
+// Repeat returns a scenario that replays sc times times, shifting
+// each repetition every later than the previous. Cascade draws in
+// shifted copies differ (their seed stream mixes in the firing time)
+// while remaining deterministic per run. The input is not modified.
+func Repeat(sc *Scenario, every Duration, times int) *Scenario {
+	out := NewScenario()
+	if sc == nil {
+		return out
+	}
+	for i := 0; i < times; i++ {
+		offset := Duration(int64(every) * int64(i))
+		for _, a := range sc.actions {
+			a.At = a.At.Add(offset)
+			out.actions = append(out.actions, a)
+		}
+	}
+	return out
+}
+
+// RandomStorms draws a random schedule of correlated domain failures
+// and spot reclamation bursts from rng (see StormProfile). The result
+// is a pure function of the profile and the generator state, so a
+// seeded rng yields byte-for-byte identical scenarios — and identical
+// RunBatch results at any worker count.
+func RandomStorms(rng *rand.Rand, p StormProfile) *Scenario {
+	out := NewScenario()
+	out.actions = sched.RandomStorms(rng, p)
+	return out
+}

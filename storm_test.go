@@ -1,0 +1,204 @@
+package gfs_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	gfs "github.com/sjtucitlab/gfs"
+)
+
+// topoCluster builds the standard test topology: 16 nodes, 2 zones ×
+// 4 racks, 2 nodes per rack.
+func topoCluster() *gfs.Cluster {
+	return gfs.NewClusterWithTopology("A100", 16, 8, 2, 4)
+}
+
+// stormScenario composes every scenario layer: diurnal reclamation,
+// a cascading rack failure, and seeded random storms. Deterministic
+// per call.
+func stormScenario() *gfs.Scenario {
+	return gfs.Compose(
+		gfs.NewScenario().DiurnalReclamation(0, 24*gfs.Hour, gfs.Hour,
+			gfs.DefaultDiurnalProfile("A100")),
+		gfs.CascadingFailure(6*gfs.Hour, "zone-0/rack-0", 0.7, 10*gfs.Minute, 5).
+			RestoreDomain(12*gfs.Hour, "zone-0"),
+		gfs.RandomStorms(rand.New(rand.NewSource(9)), gfs.StormProfile{
+			Horizon:      24 * gfs.Hour,
+			MeanInterval: 6 * gfs.Hour,
+			Domains:      []string{"zone-1/rack-0", "zone-1/rack-2"},
+			FailureProb:  0.5,
+			CascadeP:     0.3,
+			RestoreAfter: 2 * gfs.Hour,
+		}),
+	)
+}
+
+// TestCorrelatedFailureAtomic: FailDomain takes every node of the
+// rack down at one timestamp, and evictions carry the node-failure
+// cause.
+func TestCorrelatedFailureAtomic(t *testing.T) {
+	log := &gfs.EventLog{}
+	sc := gfs.CorrelatedFailure(6*gfs.Hour, "zone-0/rack-0").
+		RestoreDomain(12*gfs.Hour, "zone-0/rack-0")
+	gfs.NewEngine(topoCluster(),
+		gfs.WithScenario(sc),
+		gfs.WithObserver(log),
+	).Run(chaosTrace(17))
+
+	downs := log.Filter(gfs.NodeDown)
+	if len(downs) != 2 {
+		t.Fatalf("rack-0 holds 2 nodes, got %d NodeDown events", len(downs))
+	}
+	for _, e := range downs {
+		if e.At != gfs.Time(0).Add(6*gfs.Hour) {
+			t.Fatalf("NodeDown at t=%d, want hour 6 (atomic)", e.At)
+		}
+		if e.Node.Domain != "zone-0/rack-0" {
+			t.Fatalf("failed node in domain %q", e.Node.Domain)
+		}
+	}
+	ups := log.Filter(gfs.NodeUp)
+	if len(ups) != 2 {
+		t.Fatalf("restore should bring both nodes back, got %d", len(ups))
+	}
+	for _, e := range log.Filter(gfs.TaskEvicted) {
+		if e.At == gfs.Time(0).Add(6*gfs.Hour) && e.Cause != gfs.CauseNodeFailure {
+			t.Fatalf("failure-time eviction has cause %v", e.Cause)
+		}
+	}
+}
+
+// TestDrainDomainSparesHP: draining a domain evicts only its spot
+// tasks; HP pods run to completion on the cordoned nodes.
+func TestDrainDomainSparesHP(t *testing.T) {
+	cl := gfs.NewClusterWithTopology("A100", 2, 8, 1, 1)
+	tasks := []*gfs.Task{
+		gfs.NewTask(1, gfs.HP, 1, 8, 2*gfs.Hour),
+		gfs.NewTask(2, gfs.Spot, 1, 8, 2*gfs.Hour),
+	}
+	log := &gfs.EventLog{}
+	res := gfs.NewEngine(cl,
+		gfs.WithScheduler(gfs.NewStaticFirstFit()),
+		gfs.WithScenario(gfs.NewScenario().DrainDomain(30*gfs.Minute, "zone-0/rack-0")),
+		gfs.WithObserver(log),
+	).Run(tasks)
+	if res.HP.Evictions != 0 || res.UnfinishedHP != 0 {
+		t.Fatal("domain drain must spare HP pods")
+	}
+	evs := log.Filter(gfs.TaskEvicted)
+	if len(evs) != 1 || evs[0].Cause != gfs.CauseDrained {
+		t.Fatalf("want one drained eviction, got %v", evs)
+	}
+}
+
+// TestCascadeFailureDeterministic: the cascade's probability draws
+// are seeded, so two identical runs produce byte-identical event
+// logs, and the cascade actually spreads beyond the seed domain.
+func TestCascadeFailureDeterministic(t *testing.T) {
+	run := func() (*gfs.Result, *gfs.EventLog) {
+		log := &gfs.EventLog{}
+		sc := gfs.CascadingFailure(6*gfs.Hour, "zone-0/rack-0", 0.95, 10*gfs.Minute, 7)
+		res := gfs.NewEngine(topoCluster(),
+			gfs.WithScenario(sc),
+			gfs.WithObserver(log),
+		).Run(chaosTrace(17))
+		return res, log
+	}
+	_, logA := run()
+	_, logB := run()
+	if logA.String() != logB.String() {
+		t.Fatal("cascading runs must be byte-identical")
+	}
+	downDomains := map[string]bool{}
+	for _, e := range logA.Filter(gfs.NodeDown) {
+		downDomains[e.Node.Domain] = true
+	}
+	if !downDomains["zone-0/rack-0"] {
+		t.Fatal("seed domain did not fail")
+	}
+	if len(downDomains) < 2 {
+		t.Fatalf("cascade at p=0.95 should spread beyond the seed domain, hit %v", downDomains)
+	}
+	for d := range downDomains {
+		if d == "zone-0/rack-0" {
+			continue
+		}
+		if len(d) < 7 || d[:7] != "zone-0/" {
+			t.Fatalf("cascade crossed zones to %s; should spread to siblings only", d)
+		}
+	}
+}
+
+// TestComposeAndRepeat: composition preserves actions; Repeat shifts
+// copies by the period.
+func TestComposeAndRepeat(t *testing.T) {
+	a := gfs.NewScenario().KillNode(gfs.Hour, 1)
+	b := gfs.NewScenario().ReclaimSpot(2*gfs.Hour, 0.5)
+	c := gfs.Compose(a, nil, b)
+	if c.Len() != 2 {
+		t.Fatalf("Compose len = %d, want 2", c.Len())
+	}
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Fatal("Compose must not modify its inputs")
+	}
+	r := gfs.Repeat(b, 24*gfs.Hour, 3)
+	if r.Len() != 3 {
+		t.Fatalf("Repeat len = %d, want 3", r.Len())
+	}
+	acts := r.Actions()
+	for i, act := range acts {
+		want := gfs.Time(0).Add(2*gfs.Hour + gfs.Duration(i)*24*gfs.Hour)
+		if act.At != want {
+			t.Fatalf("repeat %d at %d, want %d", i, act.At, want)
+		}
+	}
+	if b.Len() != 1 {
+		t.Fatal("Repeat must not modify its input")
+	}
+}
+
+// TestStormDeterminismAcrossWorkers is the acceptance test for the
+// scenario library: the same seed and scenario — including the
+// random-storm generator and mid-run cascade draws — produce an
+// identical event log and metrics under RunBatch at 1 and 8 workers.
+func TestStormDeterminismAcrossWorkers(t *testing.T) {
+	const runs = 4
+	sweep := func(workers int) []string {
+		logs := make([]*gfs.EventLog, runs)
+		var specs []gfs.BatchSpec
+		for i := 0; i < runs; i++ {
+			i := i
+			logs[i] = &gfs.EventLog{}
+			specs = append(specs, gfs.BatchSpec{
+				Name: fmt.Sprintf("seed-%d", i+1),
+				Setup: func() (*gfs.Engine, []*gfs.Task) {
+					eng := gfs.NewEngine(topoCluster(),
+						gfs.WithScenario(stormScenario()),
+						gfs.WithObserver(logs[i]))
+					return eng, chaosTrace(int64(i + 1))
+				},
+			})
+		}
+		for _, br := range gfs.RunBatch(specs, gfs.WithWorkers(workers)) {
+			if br.Err != nil {
+				t.Fatalf("run %s: %v", br.Name, br.Err)
+			}
+		}
+		out := make([]string, runs)
+		for i, l := range logs {
+			out[i] = l.String()
+		}
+		return out
+	}
+	serial := sweep(1)
+	parallel := sweep(8)
+	for i := range serial {
+		if serial[i] == "" {
+			t.Fatalf("run %d recorded no events", i)
+		}
+		if serial[i] != parallel[i] {
+			t.Fatalf("run %d: event log differs between 1 and 8 workers", i)
+		}
+	}
+}
