@@ -29,13 +29,20 @@ type BatchSpec struct {
 	Name string
 	// Setup builds the engine and trace for this run.
 	Setup func() (*Engine, []*Task)
+	// SetupFederation builds a federated run instead; exactly one of
+	// Setup and SetupFederation must be set. Like Setup it must build
+	// all state — members, engines, trace — from scratch.
+	SetupFederation func() (*Federation, []*Task)
 }
 
 // BatchResult is the outcome of one batch run.
 type BatchResult struct {
 	Name   string
 	Result *Result
-	// Err is non-nil when Setup was missing or the run panicked.
+	// Fed holds the result of a SetupFederation run (Result is nil).
+	Fed *FederationResult
+	// Err is non-nil when setup was missing or ambiguous, or the run
+	// panicked.
 	Err error
 }
 
@@ -98,11 +105,17 @@ func runOne(spec BatchSpec) (br BatchResult) {
 			br.Err = fmt.Errorf("gfs: batch run %q panicked: %v", spec.Name, r)
 		}
 	}()
-	if spec.Setup == nil {
+	switch {
+	case spec.Setup == nil && spec.SetupFederation == nil:
 		br.Err = fmt.Errorf("gfs: batch run %q has no Setup", spec.Name)
-		return br
+	case spec.Setup != nil && spec.SetupFederation != nil:
+		br.Err = fmt.Errorf("gfs: batch run %q sets both Setup and SetupFederation", spec.Name)
+	case spec.SetupFederation != nil:
+		fed, tasks := spec.SetupFederation()
+		br.Fed = fed.Run(tasks)
+	default:
+		eng, tasks := spec.Setup()
+		br.Result = eng.Run(tasks)
 	}
-	eng, tasks := spec.Setup()
-	br.Result = eng.Run(tasks)
 	return br
 }

@@ -63,6 +63,35 @@ func benchSim(b *testing.B, obs []gfs.Observer) {
 // (the event spine must cost nothing here).
 func BenchmarkSim(b *testing.B) { benchSim(b, nil) }
 
+// BenchmarkFederation measures the federated loop: a two-member
+// federation — west under a correlated zone outage, east calm — with
+// least-loaded routing and spillover over the one-day trace. Together
+// with BenchmarkSim it is the pair the CI bench-regression gate
+// watches (see .github/workflows/ci.yml and internal/ci/benchgate).
+func BenchmarkFederation(b *testing.B) {
+	scale := benchFigScale()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tasks := scale.Trace(2)
+		storm := gfs.CorrelatedFailure(6*gfs.Hour, "zone-0").
+			RestoreDomain(9*gfs.Hour, "zone-0")
+		fed := gfs.NewFederation([]gfs.Member{
+			{Name: "west", Engine: gfs.NewEngine(
+				gfs.NewClusterWithTopology("A100", scale.Nodes, scale.GPUsPerNode, 2, 4),
+				gfs.WithScheduler(gfs.NewYARNCS()), gfs.WithScenario(storm))},
+			{Name: "east", Engine: gfs.NewEngine(
+				gfs.NewClusterWithTopology("A100", scale.Nodes, scale.GPUsPerNode, 2, 4),
+				gfs.WithScheduler(gfs.NewYARNCS()))},
+		})
+		b.StartTimer()
+		res := fed.Run(tasks)
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.Migrations), "migrations")
+			b.ReportMetric(res.GoodputGPUSeconds/3600, "goodputGPUh")
+		}
+	}
+}
+
 // BenchmarkSimObserver measures the same run with a counting observer
 // attached, for comparison against BenchmarkSim.
 func BenchmarkSimObserver(b *testing.B) {

@@ -6,8 +6,9 @@
 //	gfsbench -experiment table5 -scale paper
 //
 // Experiments: table1, table5, table6, table7, table8, table9,
-// table10, fig2, fig3, fig4, fig5, fig8, fig9, fig10, benefit, storm,
-// all. Scales: small (128 GPUs), medium (512), paper (2,296).
+// table10, fig2, fig3, fig4, fig5, fig8, fig9, fig10, storm,
+// federation, benefit, all. Scales: small (128 GPUs), medium (512),
+// paper (2,296).
 package main
 
 import (
@@ -21,8 +22,18 @@ import (
 	"github.com/sjtucitlab/gfs/internal/stats"
 )
 
+// experimentIDs is the canonical experiment order: what -experiment
+// all runs, what the usage string advertises, and what the
+// unknown-id error enumerates.
+var experimentIDs = []string{
+	"table1", "fig2", "fig3", "fig4", "fig5", "fig8",
+	"fig9", "table5", "table6", "fig10", "table7",
+	"table8", "table9", "table10", "storm", "federation", "benefit",
+}
+
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (table1..table10, fig2..fig10, benefit, all)")
+	exp := flag.String("experiment", "all",
+		"experiment id ("+strings.Join(experimentIDs, ", ")+", or all; comma-separate to combine)")
 	scaleName := flag.String("scale", "small", "small | medium | paper")
 	fcScaleName := flag.String("fcscale", "", "forecasting scale: small | paper (defaults to -scale)")
 	flag.Parse()
@@ -42,9 +53,7 @@ func main() {
 
 	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
-		ids = []string{"table1", "fig2", "fig3", "fig4", "fig5", "fig8",
-			"fig9", "table5", "table6", "fig10", "table7",
-			"table8", "table9", "table10", "storm", "benefit"}
+		ids = experimentIDs
 	}
 	for _, id := range ids {
 		start := time.Now()
@@ -121,6 +130,13 @@ func run(id string, scale experiments.SimScale, fc experiments.FcScale) error {
 		}
 		fmt.Printf("== Storm: schedulers under correlated failures & reclamation storms ==\n%s",
 			experiments.FormatStorm(rows))
+	case "federation":
+		rows, err := experiments.FederationExperiment(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Federation: routed vs isolated clusters under storms ==\n%s",
+			experiments.FormatFederation(rows))
 	case "fig2":
 		d := experiments.Figure2(scale)
 		fmt.Println("== Figure 2: request-size CDFs ==")
@@ -175,7 +191,8 @@ func run(id string, scale experiments.SimScale, fc experiments.FcScale) error {
 		fmt.Printf("== Monthly benefit (paper deployment deltas) ==\n%s", report)
 		_ = total
 	default:
-		return fmt.Errorf("unknown experiment %q", id)
+		return fmt.Errorf("unknown experiment %q (valid: %s, all)",
+			id, strings.Join(experimentIDs, ", "))
 	}
 	return nil
 }

@@ -7,6 +7,7 @@
 //	gfsim -scheduler yarn -nodes 287 -days 3
 //	gfsim -scheduler gfs -hours 4 -events 20
 //	gfsim -scheduler gfs -scenario diurnal-storm
+//	gfsim -federation -scenario zone-cascade -route forecast-aware
 //
 // Schedulers: gfs, gfs-e, gfs-d, gfs-s, gfs-p, gfs-sp, yarn, chronus,
 // lyra, fgd, firstfit. The spot guarantee window is set with -hours
@@ -14,6 +15,12 @@
 // injects a named storm profile (rack-failure, zone-cascade,
 // diurnal-storm, random-storms); runs are deterministic, so repeated
 // invocations print identical metrics.
+//
+// -federation runs a two-member federation instead of one cluster:
+// "west" (hit by -scenario, when given) and "east" (calm), each a
+// -nodes cluster running the reactive GFS stack, with spillover
+// migration between them. -route picks the admission policy:
+// least-loaded, cheapest-spot, forecast-aware or round-robin.
 package main
 
 import (
@@ -37,12 +44,26 @@ func main() {
 	guarantee := flag.Int("hours", 1, "spot guarantee hours (GFS variants)")
 	events := flag.Int("events", 0, "print the first N simulator events")
 	scenario := flag.String("scenario", "", "named scenario profile (rack-failure, zone-cascade, diurnal-storm, random-storms)")
+	federation := flag.Bool("federation", false, "run a two-member federation (west = -scenario, east calm)")
+	route := flag.String("route", "least-loaded", "federation route policy (least-loaded, cheapest-spot, forecast-aware, round-robin)")
 	flag.Parse()
 
 	scale := experiments.SmallScale()
 	scale.Nodes = *nodes
 	scale.Days = *days
 	scale.Seed = *seed
+
+	if *federation {
+		// Federation members run the default reactive GFS stack;
+		// reject flags that would otherwise be silently ignored.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "scheduler" || f.Name == "hours" {
+				fail(fmt.Errorf("-%s does not apply to -federation (members run the reactive GFS stack)", f.Name))
+			}
+		})
+		runFederation(scale, *spotScale, *scenario, *route, *events)
+		return
+	}
 
 	tasks := scale.Trace(*spotScale)
 	fmt.Printf("cluster: %d nodes × 8 GPUs; trace: %d tasks over %d day(s)\n",
@@ -100,6 +121,60 @@ func main() {
 		fail(fmt.Errorf("unknown scheduler %q", *scheduler))
 	}
 	printResult(res)
+}
+
+// runFederation drives the two-member federated simulation: both
+// members run the reactive GFS stack over -nodes clusters; the storm
+// scenario (when given) hits west only.
+func runFederation(scale experiments.SimScale, spotScale float64, scenario, route string, events int) {
+	policies := map[string]func() gfs.RoutePolicy{
+		"least-loaded":   gfs.RouteLeastLoaded,
+		"cheapest-spot":  gfs.RouteCheapestSpot,
+		"forecast-aware": gfs.RouteForecastAware,
+		"round-robin":    gfs.RouteRoundRobin,
+	}
+	mk, ok := policies[route]
+	if !ok {
+		fail(fmt.Errorf("unknown route policy %q (valid: least-loaded, cheapest-spot, forecast-aware, round-robin)", route))
+	}
+	var westOpts []gfs.Option
+	if scenario != "" {
+		sc, err := scale.NamedScenario(scenario)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("scenario on west: %s (%d actions)\n", scenario, sc.Len())
+		westOpts = append(westOpts, gfs.WithScenario(sc))
+	}
+	profile := gfs.DefaultDiurnalProfile("A100")
+	members := []gfs.Member{
+		{Name: "west", Engine: gfs.NewEngine(scale.NewCluster(), westOpts...), Profile: &profile},
+		{Name: "east", Engine: gfs.NewEngine(scale.NewCluster())},
+	}
+	fedOpts := []gfs.FederationOption{gfs.WithRoute(mk())}
+	if events > 0 {
+		remaining := events
+		fedOpts = append(fedOpts, gfs.WithFederationObserver(gfs.ObserverFunc(func(e gfs.Event) {
+			if remaining > 0 {
+				fmt.Println(e)
+				remaining--
+			}
+		})))
+	}
+	// Size the workload for the combined two-member capacity.
+	tscale := scale
+	tscale.Nodes *= 2
+	tasks := tscale.Trace(spotScale)
+	fmt.Printf("federation: 2 × %d nodes × 8 GPUs; route %s; trace: %d tasks over %d day(s)\n",
+		scale.Nodes, route, len(tasks), scale.Days)
+	res := gfs.NewFederation(members, fedOpts...).Run(tasks)
+	for _, m := range res.Members {
+		fmt.Printf("\n-- member %s (routed %d, migrated in %d / out %d, goodput %.1f GPU-h) --\n",
+			m.Name, m.Routed, m.MigratedIn, m.MigratedOut, m.GoodputGPUSeconds/3600)
+		printResult(m.Result)
+	}
+	fmt.Printf("\nfederation total: goodput %.1f GPU-h, %d migrations, %d saturations, %d unfinished\n",
+		res.GoodputGPUSeconds/3600, res.Migrations, res.Saturations, res.Unfinished)
 }
 
 func trainFor(scale experiments.SimScale, variant experiments.GFSVariant) (*gde.Estimator, error) {

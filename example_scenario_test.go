@@ -1,9 +1,9 @@
 package gfs_test
 
 // The examples in this file are the runnable snippets behind
-// docs/scenarios.md — each cookbook entry compiles (and where it has
-// an Output comment, runs) as part of the test suite, so the docs
-// cannot drift from the API.
+// docs/scenarios.md and docs/federation.md — each cookbook entry
+// compiles (and where it has an Output comment, runs) as part of the
+// test suite, so the docs cannot drift from the API.
 
 import (
 	"fmt"
@@ -122,5 +122,79 @@ func ExampleWithScenario() {
 	_ = res.Spot.EvictionRate       // storm-inflated
 	_ = log.Filter(gfs.TaskEvicted) // causes: reclaimed / node-failure
 	fmt.Println(len(log.Events) > 0)
+	// Output: true
+}
+
+// A federation composes named member clusters. Each member is a full
+// Engine — its own cluster, scheduler, quota and scenario — and the
+// route policy admits every arriving task to one of them.
+func ExampleNewFederation() {
+	storm := gfs.CorrelatedFailure(6*gfs.Hour, "zone-0").
+		RestoreDomain(12*gfs.Hour, "zone-0")
+	fed := gfs.NewFederation([]gfs.Member{
+		{Name: "west", Engine: gfs.NewEngine(
+			gfs.NewClusterWithTopology("A100", 16, 8, 2, 4),
+			gfs.WithScenario(storm))},
+		{Name: "east", Engine: gfs.NewEngine(
+			gfs.NewClusterWithTopology("A100", 16, 8, 2, 4))},
+	})
+	res := fed.Run(chaosTrace(17))
+	fmt.Println(res.Migrations > 0, res.Member("east").MigratedIn > 0)
+	// Output: true true
+}
+
+// The federation event stream tags every member event with its member
+// name and adds TaskMigrated / ClusterSaturated, all on one shared
+// sequence — byte-identical across runs and RunBatch worker counts.
+func ExampleWithFederationObserver() {
+	storm := gfs.CorrelatedFailure(6*gfs.Hour, "zone-0").
+		RestoreDomain(12*gfs.Hour, "zone-0")
+	log := &gfs.EventLog{}
+	gfs.NewFederation([]gfs.Member{
+		{Name: "west", Engine: gfs.NewEngine(
+			gfs.NewClusterWithTopology("A100", 16, 8, 2, 4),
+			gfs.WithScenario(storm))},
+		{Name: "east", Engine: gfs.NewEngine(
+			gfs.NewClusterWithTopology("A100", 16, 8, 2, 4))},
+	},
+		gfs.WithFederationObserver(log),
+		gfs.WithMigrationDelay(5*gfs.Minute),
+	).Run(chaosTrace(17))
+	m := log.Filter(gfs.TaskMigrated)[0]
+	fmt.Println(m.Member, "→", m.Target)
+	// Output: west → east
+}
+
+// Price-aware routing: spot tasks go to the cheapest member with
+// room, HP tasks to the least-loaded. Member pricing defaults to
+// DefaultPricing when nil.
+func ExampleRouteCheapestSpot() {
+	fed := gfs.NewFederation([]gfs.Member{
+		{Name: "h800", Engine: gfs.NewEngine(gfs.NewCluster("H800", 16, 8))},
+		{Name: "a10", Engine: gfs.NewEngine(gfs.NewCluster("A10", 16, 8))},
+	}, gfs.WithRoute(gfs.RouteCheapestSpot()))
+	res := fed.Run(chaosTrace(5))
+	spotOnCheap := 0
+	for _, tk := range res.Member("a10").Result.Tasks {
+		if tk.Type == gfs.Spot {
+			spotOnCheap++
+		}
+	}
+	fmt.Println(spotOnCheap > 0)
+	// Output: true
+}
+
+// Forecast-aware routing reads each member's diurnal reclamation
+// profile and steers spot tasks away from members heading into their
+// reclamation peak.
+func ExampleRouteForecastAware() {
+	stormy := gfs.DefaultDiurnalProfile("A100")
+	fed := gfs.NewFederation([]gfs.Member{
+		{Name: "stormy", Engine: gfs.NewEngine(gfs.NewCluster("A100", 16, 8)),
+			Profile: &stormy},
+		{Name: "calm", Engine: gfs.NewEngine(gfs.NewCluster("A100", 16, 8))},
+	}, gfs.WithRoute(gfs.RouteForecastAware()))
+	res := fed.Run(chaosTrace(5))
+	fmt.Println(res.Member("calm").Routed > res.Member("stormy").Routed)
 	// Output: true
 }

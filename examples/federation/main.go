@@ -1,0 +1,130 @@
+// Federation: multi-cluster spillover scheduling. Two clusters with
+// different pricing form a federation; a diurnal reclamation storm
+// plus a cascading rack failure hit the expensive "west" cluster,
+// and its capacity-loss victims migrate to the calm, cheaper "east".
+// The same workload then runs isolated (static split, no spillover)
+// to show what federation buys, and a batch sweep demonstrates the
+// federated determinism contract across worker counts.
+package main
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	gfs "github.com/sjtucitlab/gfs"
+)
+
+func main() {
+	log := &gfs.EventLog{}
+	fed := gfs.NewFederation(members(),
+		gfs.WithRoute(gfs.RouteForecastAware()),
+		gfs.WithMigrationDelay(2*gfs.Minute),
+		gfs.WithFederationObserver(log),
+	)
+	res := fed.Run(trace(17))
+
+	fmt.Println("== federated (forecast-aware routing + spillover) ==")
+	report(res)
+
+	migrated := log.Filter(gfs.TaskMigrated)
+	fmt.Printf("federation stream: %d events, %d TaskMigrated, %d ClusterSaturated\n",
+		len(log.Events), len(migrated), len(log.Filter(gfs.ClusterSaturated)))
+	for i, e := range migrated {
+		if i == 3 {
+			fmt.Printf("  … %d more\n", len(migrated)-3)
+			break
+		}
+		fmt.Printf("  %s\n", e)
+	}
+
+	// The isolated baseline: the identical workload dealt round-robin
+	// to the same two clusters, each fending for itself.
+	iso := gfs.NewFederation(members(),
+		gfs.WithRoute(gfs.RouteRoundRobin()),
+		gfs.WithSpillover(nil),
+	).Run(trace(17))
+	fmt.Println("\n== isolated (round-robin split, no spillover) ==")
+	report(iso)
+
+	// Determinism: federated batch sweeps hash identically at any
+	// worker count.
+	fmt.Println("\nfederated event-log hashes across worker counts:")
+	for _, workers := range []int{1, 8} {
+		logs := make([]*gfs.EventLog, 4)
+		var specs []gfs.BatchSpec
+		for i := 0; i < 4; i++ {
+			i := i
+			logs[i] = &gfs.EventLog{}
+			specs = append(specs, gfs.BatchSpec{
+				Name: fmt.Sprintf("seed-%d", i+1),
+				SetupFederation: func() (*gfs.Federation, []*gfs.Task) {
+					fed := gfs.NewFederation(members(),
+						gfs.WithFederationObserver(logs[i]))
+					return fed, trace(int64(i + 1))
+				},
+			})
+		}
+		gfs.RunBatch(specs, gfs.WithWorkers(workers))
+		fmt.Printf("  workers=%d:", workers)
+		for _, l := range logs {
+			h := fnv.New64a()
+			fmt.Fprint(h, l.String())
+			fmt.Printf(" %016x", h.Sum64())
+		}
+		fmt.Println()
+	}
+}
+
+// members builds the two-member federation from scratch: "west" is
+// pricey H800 capacity about to be hammered by storms, "east" is
+// cheaper A10 capacity sitting quiet. Fresh state per call, as
+// federated runs (and batch specs) require.
+func members() []gfs.Member {
+	storm := gfs.Compose(
+		gfs.NewScenario().DiurnalReclamation(0, 24*gfs.Hour, gfs.Hour,
+			gfs.DefaultDiurnalProfile("H800")),
+		gfs.CascadingFailure(6*gfs.Hour, "zone-0/rack-0", 0.6, 10*gfs.Minute, 42).
+			RestoreDomain(12*gfs.Hour, "zone-0"),
+	)
+	profile := gfs.DefaultDiurnalProfile("H800")
+	return []gfs.Member{
+		{
+			Name:    "west",
+			Engine:  gfs.NewEngine(cluster("H800"), gfs.WithScenario(storm)),
+			Profile: &profile,
+		},
+		{
+			Name:   "east",
+			Engine: gfs.NewEngine(cluster("A10")),
+		},
+	}
+}
+
+func cluster(model string) *gfs.Cluster {
+	return gfs.NewClusterWithTopology(model, 16, 8, 2, 4)
+}
+
+func report(res *gfs.FederationResult) {
+	for _, m := range res.Members {
+		fmt.Printf("%-5s routed %3d  in %2d  out %2d  goodput %7.1f GPU-h  evict %5.2f%%  alloc %5.1f%%\n",
+			m.Name, m.Routed, m.MigratedIn, m.MigratedOut,
+			m.GoodputGPUSeconds/3600, 100*m.Result.Spot.EvictionRate,
+			100*m.Result.AllocationRate)
+	}
+	fmt.Printf("total goodput %.1f GPU-h, %d migrations, %d unfinished\n",
+		res.GoodputGPUSeconds/3600, res.Migrations, res.Unfinished)
+}
+
+// trace generates the shared workload, sized for the combined
+// capacity of both members. Tasks carry no GPU-model constraint, so
+// either member can host them.
+func trace(seed int64) []*gfs.Task {
+	cfg := gfs.DefaultTraceConfig()
+	cfg.Seed = seed
+	cfg.Days = 1
+	cfg.ClusterGPUs = 256
+	cfg.SpotLoad = 0.25
+	cfg.MaxDuration = 6 * gfs.Hour
+	cfg.GPUModel = ""
+	return gfs.GenerateTrace(cfg)
+}

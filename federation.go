@@ -1,0 +1,229 @@
+package gfs
+
+import (
+	"fmt"
+
+	"github.com/sjtucitlab/gfs/internal/pricing"
+	"github.com/sjtucitlab/gfs/internal/sched"
+)
+
+// Federation types, re-exported from the simulator core.
+type (
+	// RoutePolicy admits each arriving task to one federation member.
+	RoutePolicy = sched.RoutePolicy
+	// SpilloverPolicy migrates capacity-loss victims across members.
+	SpilloverPolicy = sched.SpilloverPolicy
+	// RouteContext is a RoutePolicy's decision input.
+	RouteContext = sched.RouteContext
+	// SpillContext is a SpilloverPolicy's decision input.
+	SpillContext = sched.SpillContext
+	// MemberState is the live per-member view policies decide over.
+	MemberState = sched.MemberState
+	// FederationResult aggregates a federated run.
+	FederationResult = sched.FedResult
+	// MemberResult is one member's share of a federated run.
+	MemberResult = sched.MemberResult
+	// PricingTable maps GPU model → on-demand hourly USD price.
+	PricingTable = pricing.Table
+)
+
+// Federation event kinds (see Event.Member and Event.Target).
+const (
+	// TaskMigrated fires when a spilled task lands on its new member.
+	TaskMigrated = sched.TaskMigrated
+	// ClusterSaturated fires when a member cannot hold its workload.
+	ClusterSaturated = sched.ClusterSaturated
+)
+
+// RouteLeastLoaded routes each task to the member with the highest
+// free-capacity fraction.
+func RouteLeastLoaded() RoutePolicy { return sched.RouteLeastLoaded{} }
+
+// RouteCheapestSpot routes spot tasks to the cheapest member with
+// room (HP tasks go least-loaded).
+func RouteCheapestSpot() RoutePolicy { return sched.RouteCheapestSpot{} }
+
+// RouteForecastAware routes to the member with the most free capacity
+// discounted by its forecast spot reclamation over the task's
+// runtime (see Member.Profile).
+func RouteForecastAware() RoutePolicy { return sched.RouteForecastAware{} }
+
+// RouteRoundRobin deals tasks to members in rotation regardless of
+// state — the static split modelling isolated clusters, used as the
+// baseline federation routing is compared against.
+func RouteRoundRobin() RoutePolicy { return &sched.RouteRoundRobin{} }
+
+// SpillToLeastLoaded migrates capacity-loss victims to the sibling
+// member with the most free GPUs that fits them, keeping them local
+// otherwise. It is the default spillover policy.
+func SpillToLeastLoaded() SpilloverPolicy { return sched.SpillLeastLoaded{} }
+
+// DefaultPricing returns representative cloud on-demand list prices
+// per GPU model.
+func DefaultPricing() PricingTable { return pricing.DefaultTable() }
+
+// Member is one federation member: a named Engine (cluster +
+// scheduler + quota + scenario) plus the pricing and forecast signals
+// routing policies read.
+type Member struct {
+	// Name uniquely identifies the member within the federation.
+	Name string
+	// Engine is the member's fully configured simulation session.
+	// Its scenario, quota policy and observers all apply to the
+	// member's share of the federated run.
+	Engine *Engine
+	// Pricing prices the member's GPU models; nil uses
+	// DefaultPricing. The member's effective spot price (cheapest
+	// priced model × spot margin) feeds RouteCheapestSpot.
+	Pricing PricingTable
+	// Profile optionally forecasts the member's diurnal spot
+	// reclamation; RouteForecastAware steers spot tasks away from
+	// members heading into their reclamation peak.
+	Profile *DiurnalProfile
+}
+
+// spotPrice derives the member's effective $/GPU-hour for spot
+// capacity: the cheapest priced model in its cluster at the spot
+// realization margin. Members whose models are all unpriced fall
+// back to the table mean so price-aware routing still ranks them.
+func (m Member) spotPrice() float64 {
+	tbl := m.Pricing
+	if tbl == nil {
+		tbl = pricing.DefaultTable()
+	}
+	best := 0.0
+	for _, model := range m.Engine.Cluster().Models() {
+		if p := tbl[model]; p > 0 && (best == 0 || p < best) {
+			best = p
+		}
+	}
+	if best == 0 {
+		n := 0
+		for _, p := range tbl {
+			best += p
+			n++
+		}
+		if n > 0 {
+			best /= float64(n)
+		}
+	}
+	return best * pricing.DefaultSpotMargin
+}
+
+// Federation composes named member clusters into one scheduling
+// domain: a route policy admits each arriving task to one member, the
+// members advance in lockstep on a shared simulated clock, and
+// capacity-loss evictions (storms, domain failures, reclamation)
+// spill over to sibling members after a migration delay.
+//
+//	fed := gfs.NewFederation([]gfs.Member{
+//		{Name: "west", Engine: gfs.NewEngine(clWest, gfs.WithScenario(storm))},
+//		{Name: "east", Engine: gfs.NewEngine(clEast)},
+//	}, gfs.WithRoute(gfs.RouteCheapestSpot()))
+//	res := fed.Run(tasks)
+//	fmt.Println(res.Member("east").MigratedIn)
+//
+// Federated runs honor the RunBatch determinism contract: the same
+// members, policies and trace produce byte-identical event logs and
+// results at any worker count. Like Engine.Run, Run mutates tasks and
+// member clusters, so each Run needs freshly built members and a
+// fresh trace (see BatchSpec.SetupFederation).
+type Federation struct {
+	members   []Member
+	route     RoutePolicy
+	spill     SpilloverPolicy
+	delay     Duration
+	observers []Observer
+}
+
+// FederationOption configures a Federation at construction.
+type FederationOption func(*Federation)
+
+// WithRoute selects the admission route policy (default:
+// RouteLeastLoaded).
+func WithRoute(p RoutePolicy) FederationOption {
+	return func(f *Federation) { f.route = p }
+}
+
+// WithSpillover selects the spillover policy; nil disables spillover,
+// so evicted tasks requeue on their own member (default:
+// SpillToLeastLoaded).
+func WithSpillover(p SpilloverPolicy) FederationOption {
+	return func(f *Federation) { f.spill = p }
+}
+
+// WithMigrationDelay sets the simulated lag between a spillover
+// decision and the task's arrival at its new member (default: one
+// minute).
+func WithMigrationDelay(d Duration) FederationOption {
+	return func(f *Federation) { f.delay = d }
+}
+
+// WithFederationObserver registers observers for the federation event
+// stream: every member event tagged with its member name, plus
+// TaskMigrated and ClusterSaturated, renumbered by one shared
+// sequence.
+func WithFederationObserver(obs ...Observer) FederationOption {
+	return func(f *Federation) { f.observers = append(f.observers, obs...) }
+}
+
+// NewFederation builds a federation over the members, applying
+// options in order. It panics on an empty member list, a nil member
+// engine, or duplicate or empty member names — configuration bugs
+// that would silently corrupt routing.
+func NewFederation(members []Member, opts ...FederationOption) *Federation {
+	if len(members) == 0 {
+		panic("gfs: NewFederation needs at least one member")
+	}
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if m.Name == "" {
+			panic("gfs: federation member with empty name")
+		}
+		if seen[m.Name] {
+			panic(fmt.Sprintf("gfs: duplicate federation member %q", m.Name))
+		}
+		if m.Engine == nil {
+			panic(fmt.Sprintf("gfs: federation member %q has no engine", m.Name))
+		}
+		seen[m.Name] = true
+	}
+	f := &Federation{
+		members: append([]Member(nil), members...),
+		route:   RouteLeastLoaded(),
+		spill:   SpillToLeastLoaded(),
+		delay:   Minute,
+	}
+	for _, opt := range opts {
+		opt(f)
+	}
+	return f
+}
+
+// Members returns the federation's members in order.
+func (f *Federation) Members() []Member { return f.members }
+
+// Run executes the federated simulation over the trace and returns
+// per-member and aggregate metrics. Tasks and member clusters are
+// mutated in place, so each Run needs a fresh federation and trace.
+func (f *Federation) Run(tasks []*Task) *FederationResult {
+	cfg := sched.FedConfig{
+		Route:          f.route,
+		Spill:          f.spill,
+		MigrationDelay: f.delay,
+		Observers:      f.observers,
+	}
+	for _, m := range f.members {
+		fm := sched.FedMember{
+			Name:      m.Name,
+			Cfg:       m.Engine.Config(),
+			SpotPrice: m.spotPrice(),
+		}
+		if m.Profile != nil {
+			p := *m.Profile
+			fm.Reclaim = p.Intensity
+		}
+		cfg.Members = append(cfg.Members, fm)
+	}
+	return sched.RunFederation(cfg, tasks)
+}

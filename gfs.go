@@ -54,6 +54,8 @@ type (
 	Task = task.Task
 	// TaskType distinguishes HP from spot tasks.
 	TaskType = task.Type
+	// TaskState is a task's lifecycle stage.
+	TaskState = task.State
 	// Cluster is a set of GPU nodes.
 	Cluster = cluster.Cluster
 	// Node is one machine with a fixed GPU count.
@@ -96,6 +98,17 @@ const (
 	Spot = task.Spot
 	// HP tasks are non-preemptible (ζ = 1).
 	HP = task.HP
+)
+
+// Task lifecycle states (TaskState values; distinct from the
+// TaskArrived…TaskFinished event kinds).
+const (
+	// StatePending tasks wait in a scheduler queue.
+	StatePending = task.Pending
+	// StateRunning tasks hold GPUs.
+	StateRunning = task.Running
+	// StateFinished tasks completed all their work.
+	StateFinished = task.Finished
 )
 
 // Simulated time units.

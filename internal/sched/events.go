@@ -33,6 +33,16 @@ const (
 	// NodeUp fires when a node (re)joins the schedulable pool,
 	// including nodes added by a scale-out action.
 	NodeUp
+	// TaskMigrated fires on the federation event stream when a task
+	// evicted by capacity loss is delivered to a sibling cluster
+	// after the migration delay; Event.Member names the source and
+	// Event.Target the destination member.
+	TaskMigrated
+	// ClusterSaturated fires on the federation event stream when a
+	// member can no longer hold its workload: a routed task exceeds
+	// its free capacity, or capacity loss forces a spillover. At most
+	// one fires per member per timestamp.
+	ClusterSaturated
 )
 
 // String implements fmt.Stringer.
@@ -52,6 +62,10 @@ func (k EventKind) String() string {
 		return "NodeDown"
 	case NodeUp:
 		return "NodeUp"
+	case TaskMigrated:
+		return "TaskMigrated"
+	case ClusterSaturated:
+		return "ClusterSaturated"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -106,6 +120,12 @@ type Event struct {
 	Node  *cluster.Node
 	Quota float64
 	Cause EvictCause
+	// Member names the federation member the event concerns. The
+	// federation stream sets it on every event (member streams leave
+	// it empty); for TaskMigrated it is the source member.
+	Member string
+	// Target names the destination member of a TaskMigrated event.
+	Target string
 }
 
 // String renders the event as one deterministic log line, so that an
@@ -113,11 +133,16 @@ type Event struct {
 func (e Event) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "t=%d seq=%d %s", int64(e.At), e.Seq, e.Kind)
+	if e.Member != "" {
+		fmt.Fprintf(&b, " member=%s", e.Member)
+	}
 	switch e.Kind {
 	case TaskArrived, TaskStarted, TaskFinished:
 		fmt.Fprintf(&b, " task=%d type=%s gpus=%g", e.Task.ID, e.Task.Type, e.Task.TotalGPUs())
 	case TaskEvicted:
 		fmt.Fprintf(&b, " task=%d type=%s gpus=%g cause=%s", e.Task.ID, e.Task.Type, e.Task.TotalGPUs(), e.Cause)
+	case TaskMigrated:
+		fmt.Fprintf(&b, " task=%d type=%s gpus=%g target=%s", e.Task.ID, e.Task.Type, e.Task.TotalGPUs(), e.Target)
 	case QuotaUpdated:
 		fmt.Fprintf(&b, " quota=%g", e.Quota)
 	case NodeDown, NodeUp:

@@ -44,6 +44,13 @@ type SimConfig struct {
 	// drain, scale-out, spot reclamation) injected into the event
 	// queue mid-run. Actions sharing a timestamp apply in order.
 	Scenario []ScenarioAction
+	// EvictionInterceptor, when non-nil, is consulted after a
+	// capacity-loss eviction (node failure, drain, spot reclamation —
+	// never scheduler preemption) before the victim is requeued
+	// locally. Returning true claims the task: the simulator forgets
+	// it and the caller becomes responsible for its future, typically
+	// by injecting it into a sibling cluster (see RunFederation).
+	EvictionInterceptor func(tk *task.Task, cause EvictCause) bool
 }
 
 // DefaultSimConfig fills in the paper's settings for a given cluster
@@ -103,7 +110,10 @@ type tickEvent struct{}
 
 type scenarioEvent struct{ action ScenarioAction }
 
-// Simulator is the discrete-event driver.
+// Simulator is the discrete-event driver. Run drives it to
+// completion in one call; NewSimulator/Step/Finish expose the same
+// loop incrementally so several simulators can advance in lockstep on
+// a shared clock (see RunFederation).
 type Simulator struct {
 	cfg     SimConfig
 	queue   simclock.Queue
@@ -131,6 +141,19 @@ type Simulator struct {
 	// event construction entirely when nobody listens.
 	hasObs   bool
 	eventSeq uint64
+
+	// tickOn tracks whether a quota tick is pending in the queue, and
+	// quotaInit whether the initial quota update ran; both matter only
+	// for simulators fed via Inject, whose first task can arrive long
+	// after construction (or after the tick chain went idle).
+	tickOn    bool
+	quotaInit bool
+	// known and migrated are Inject/interceptor bookkeeping, nil (and
+	// cost-free) for plain Run simulations: known dedupes re-injected
+	// tasks, migrated marks tasks claimed by the interceptor so they
+	// no longer count toward this simulator's demand or results.
+	known    map[int]bool
+	migrated map[int]bool
 }
 
 type queueObs struct {
@@ -155,6 +178,16 @@ func shapeOfTask(tk *task.Task) taskShape {
 // Run executes the simulation over the given trace and returns the
 // metrics.
 func Run(cfg SimConfig, tasks []*task.Task) *Result {
+	s := NewSimulator(cfg, tasks)
+	for s.Step() {
+	}
+	return s.Finish()
+}
+
+// NewSimulator builds a simulator over the trace without running it.
+// Drive it with Step until it returns false (or interleave Step with
+// Inject), then collect metrics with Finish.
+func NewSimulator(cfg SimConfig, tasks []*task.Task) *Simulator {
 	if cfg.QuotaInterval <= 0 {
 		cfg.QuotaInterval = 300 * simclock.Second
 	}
@@ -200,36 +233,96 @@ func Run(cfg SimConfig, tasks []*task.Task) *Result {
 	if len(tasks) > 0 {
 		s.now = tasks[0].Submit
 		s.updateQuota() // initial quota before the first pass
+		s.quotaInit = true
 		s.queue.Push(tasks[0].Submit.Add(cfg.QuotaInterval), tickEvent{})
+		s.tickOn = true
 	}
-	s.loop()
-	return s.result()
+	return s
 }
 
-func (s *Simulator) loop() {
+// PeekTime returns the timestamp of the next pending event, or false
+// when the simulation has run dry. It is how a federated loop decides
+// which member advances next.
+func (s *Simulator) PeekTime() (simclock.Time, bool) {
+	ev := s.queue.Peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.At, true
+}
+
+// Now returns the simulator's current time (the timestamp of the last
+// processed event).
+func (s *Simulator) Now() simclock.Time { return s.now }
+
+// PendingTasks returns the number of tasks waiting in the scheduling
+// queue.
+func (s *Simulator) PendingTasks() int { return len(s.pending) }
+
+// Step processes the next timestamp bundle — every event sharing the
+// earliest pending timestamp, followed by at most one scheduling pass
+// — and reports whether any event was processed.
+func (s *Simulator) Step() bool {
+	ev := s.queue.Pop()
+	if ev == nil {
+		return false
+	}
+	s.now = ev.At
+	scheduleNeeded := s.handle(ev)
+	// Drain events sharing this timestamp before scheduling.
 	for {
-		ev := s.queue.Pop()
-		if ev == nil {
+		next := s.queue.Peek()
+		if next == nil || next.At != s.now {
 			break
 		}
-		s.now = ev.At
-		scheduleNeeded := s.handle(ev)
-		// Drain events sharing this timestamp before scheduling.
-		for {
-			next := s.queue.Peek()
-			if next == nil || next.At != s.now {
-				break
-			}
-			if s.handle(s.queue.Pop()) {
-				scheduleNeeded = true
-			}
-		}
-		if scheduleNeeded {
-			s.schedulePass()
+		if s.handle(s.queue.Pop()) {
+			scheduleNeeded = true
 		}
 	}
-	// Close the books: observe final allocation.
+	if scheduleNeeded {
+		s.schedulePass()
+	}
+	return true
+}
+
+// Inject adds a task to the simulation mid-run, arriving at time at
+// (which must not precede the simulator's current time). It is the
+// entry point for federation routing and migration: member simulators
+// start with empty traces and receive their tasks as the shared clock
+// reaches each submission. Re-injecting a task that previously
+// migrated away returns it to this simulator's books.
+func (s *Simulator) Inject(tk *task.Task, at simclock.Time) {
+	if s.known == nil {
+		s.known = make(map[int]bool, len(s.tasks))
+		for _, t := range s.tasks {
+			s.known[t.ID] = true
+		}
+	}
+	if !s.known[tk.ID] {
+		s.known[tk.ID] = true
+		s.tasks = append(s.tasks, tk)
+	}
+	delete(s.migrated, tk.ID)
+	s.queue.Push(at, arrivalEvent{tk: tk})
+	if !s.quotaInit {
+		// First task ever seen: establish the initial quota before
+		// the first pass, as Run does for pre-loaded traces.
+		s.now = at
+		s.updateQuota()
+		s.quotaInit = true
+	}
+	if !s.tickOn {
+		s.queue.Push(at.Add(s.cfg.QuotaInterval), tickEvent{})
+		s.tickOn = true
+	}
+}
+
+// Finish closes the books — observing the final allocation sample —
+// and returns the run's metrics. Call it exactly once, after Step
+// returns false.
+func (s *Simulator) Finish() *Result {
 	s.alloc.Observe(s.now, s.state.Cluster.UsedGPUs(""))
+	return s.result()
 }
 
 // emit delivers one event to every observer, stamping time and
@@ -283,6 +376,9 @@ func (s *Simulator) handle(ev *simclock.Event) bool {
 		stalled := len(s.pending) > 0 && s.now.Sub(s.lastProgress) < s.cfg.IdleTimeout
 		if active || stalled {
 			s.queue.Push(s.now.Add(s.cfg.QuotaInterval), tickEvent{})
+		} else {
+			// The tick chain ends here; a later Inject restarts it.
+			s.tickOn = false
 		}
 		return true
 	}
@@ -318,7 +414,7 @@ func (s *Simulator) recordDemand() {
 	}
 
 	for _, tk := range s.tasks {
-		if tk.Type != task.HP {
+		if tk.Type != task.HP || s.migrated[tk.ID] {
 			continue
 		}
 		switch tk.State {
@@ -531,7 +627,7 @@ func (s *Simulator) applyScenario(a ScenarioAction) bool {
 			if reclaimed >= target {
 				break
 			}
-			if tk.Type != task.Spot || tk.State != task.Running {
+			if tk.Type != task.Spot || tk.State != task.Running || s.migrated[tk.ID] {
 				continue
 			}
 			locs := s.state.NodesOf(tk)
@@ -565,6 +661,16 @@ func (s *Simulator) evictVictim(v *task.Task, cause EvictCause, locs []NodePods)
 	}
 	if s.hasObs {
 		s.emit(Event{Kind: TaskEvicted, Task: v, Cause: cause})
+	}
+	if s.cfg.EvictionInterceptor != nil && s.cfg.EvictionInterceptor(v, cause) {
+		// Claimed: the task leaves this simulator's books (it will be
+		// re-injected elsewhere). The epochs entry stays so any stale
+		// finish event for the old run is still discarded.
+		if s.migrated == nil {
+			s.migrated = make(map[int]bool)
+		}
+		s.migrated[v.ID] = true
+		return
 	}
 	s.insertPending(v)
 }
@@ -744,18 +850,29 @@ func (s *Simulator) apply(tk *task.Task, dec *Decision) {
 }
 
 func (s *Simulator) result() *Result {
+	tasks := s.tasks
+	if len(s.migrated) > 0 {
+		// Tasks that migrated away finished (or died) on another
+		// member; they belong in that member's results, not here.
+		tasks = make([]*task.Task, 0, len(s.tasks))
+		for _, tk := range s.tasks {
+			if !s.migrated[tk.ID] {
+				tasks = append(tasks, tk)
+			}
+		}
+	}
 	r := &Result{
 		SchedulerName:    s.cfg.Scheduler.Name(),
-		Tasks:            s.tasks,
-		HP:               stats.Summarize(s.tasks, task.HP),
-		Spot:             stats.Summarize(s.tasks, task.Spot),
+		Tasks:            tasks,
+		HP:               stats.Summarize(tasks, task.HP),
+		Spot:             stats.Summarize(tasks, task.Spot),
 		AllocationRate:   s.alloc.Rate(),
 		Samples:          s.alloc.Samples,
 		WastedGPUSeconds: s.waste,
 		End:              s.now,
 		FinalQuota:       s.spotQuota,
 	}
-	for _, tk := range s.tasks {
+	for _, tk := range tasks {
 		if tk.State != task.Finished {
 			if tk.Type == task.HP {
 				r.UnfinishedHP++
