@@ -27,7 +27,11 @@ import (
 type BatchSpec struct {
 	// Name labels the run in results.
 	Name string
-	// Setup builds the engine and trace for this run.
+	// Setup builds the engine and trace for this run. A setup may
+	// instead attach a streaming trace (WithTraceSource) and return a
+	// nil task slice: the batch then replays the source via RunTrace,
+	// with source errors landing in BatchResult.Err. Each run needs
+	// its own source — sources are single-use.
 	Setup func() (*Engine, []*Task)
 	// SetupFederation builds a federated run instead; exactly one of
 	// Setup and SetupFederation must be set. Like Setup it must build
@@ -115,7 +119,17 @@ func runOne(spec BatchSpec) (br BatchResult) {
 		br.Fed = fed.Run(tasks)
 	default:
 		eng, tasks := spec.Setup()
-		br.Result = eng.Run(tasks)
+		switch {
+		case tasks == nil && eng.TraceSource() != nil:
+			br.Result, br.Err = eng.RunTrace()
+		case tasks != nil && eng.TraceSource() != nil:
+			// Ambiguous setup: surface the misuse (and release the
+			// source) instead of silently replaying neither-or-both.
+			eng.TraceSource().Close()
+			br.Err = fmt.Errorf("gfs: batch run %q supplies both a trace source and a task slice", spec.Name)
+		default:
+			br.Result = eng.Run(tasks)
+		}
 	}
 	return br
 }

@@ -7,6 +7,8 @@
 package gfs_test
 
 import (
+	"bytes"
+	"compress/gzip"
 	"math"
 	"testing"
 
@@ -88,6 +90,42 @@ func BenchmarkFederation(b *testing.B) {
 		if i == b.N-1 {
 			b.ReportMetric(float64(res.Migrations), "migrations")
 			b.ReportMetric(res.GoodputGPUSeconds/3600, "goodputGPUh")
+		}
+	}
+}
+
+// BenchmarkTraceIngest measures the streaming ingestion hot path: one
+// op decodes the standard one-day trace from an in-memory gzipped CSV
+// through the Source pipeline into the one-pass stats accumulator.
+// Allocations per op stay proportional to the task count (constant
+// per task, no whole-trace buffering), which the allocs/op metric
+// makes auditable; together with BenchmarkSim and BenchmarkFederation
+// it is gated by the CI bench-regression job (internal/ci/benchgate).
+func BenchmarkTraceIngest(b *testing.B) {
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	tasks := benchFigScale().Trace(2)
+	if err := gfs.WriteTraceCSV(zw, tasks); err != nil {
+		b.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src, err := gfs.OpenTraceReader(bytes.NewReader(data), gfs.TraceFormatAuto)
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats, err := gfs.SummarizeTraceSource(src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(stats.HPCount+stats.SpotCount), "tasks/op")
 		}
 	}
 }

@@ -5,10 +5,16 @@
 //	gfsbench -experiment all -scale small
 //	gfsbench -experiment table5 -scale paper
 //
+//	gfsbench -experiment replay -trace trace.csv.gz
+//
 // Experiments: table1, table5, table6, table7, table8, table9,
 // table10, fig2, fig3, fig4, fig5, fig8, fig9, fig10, storm,
-// federation, benefit, all. Scales: small (128 GPUs), medium (512),
-// paper (2,296).
+// federation, replay, benefit, all. Scales: small (128 GPUs), medium
+// (512), paper (2,296). The replay experiment compares schedulers on
+// an ingested trace: -trace names the file (any format gfstrace
+// reads); without it the experiment synthesizes a workload and
+// round-trips it through the gzipped-CSV interchange format in
+// memory.
 package main
 
 import (
@@ -28,7 +34,7 @@ import (
 var experimentIDs = []string{
 	"table1", "fig2", "fig3", "fig4", "fig5", "fig8",
 	"fig9", "table5", "table6", "fig10", "table7",
-	"table8", "table9", "table10", "storm", "federation", "benefit",
+	"table8", "table9", "table10", "storm", "federation", "replay", "benefit",
 }
 
 func main() {
@@ -36,6 +42,7 @@ func main() {
 		"experiment id ("+strings.Join(experimentIDs, ", ")+", or all; comma-separate to combine)")
 	scaleName := flag.String("scale", "small", "small | medium | paper")
 	fcScaleName := flag.String("fcscale", "", "forecasting scale: small | paper (defaults to -scale)")
+	tracePath := flag.String("trace", "", "trace file for the replay experiment (default: synthesized round trip)")
 	flag.Parse()
 
 	scale, ok := simScale(*scaleName)
@@ -57,7 +64,7 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := run(strings.TrimSpace(id), scale, fc); err != nil {
+		if err := run(strings.TrimSpace(id), scale, fc, *tracePath); err != nil {
 			fmt.Fprintf(os.Stderr, "gfsbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
@@ -77,7 +84,7 @@ func simScale(name string) (experiments.SimScale, bool) {
 	return experiments.SimScale{}, false
 }
 
-func run(id string, scale experiments.SimScale, fc experiments.FcScale) error {
+func run(id string, scale experiments.SimScale, fc experiments.FcScale, tracePath string) error {
 	switch id {
 	case "table1":
 		fmt.Println("== Table 1: GPU statistics under the pre-GFS scheduler ==")
@@ -137,6 +144,13 @@ func run(id string, scale experiments.SimScale, fc experiments.FcScale) error {
 		}
 		fmt.Printf("== Federation: routed vs isolated clusters under storms ==\n%s",
 			experiments.FormatFederation(rows))
+	case "replay":
+		rep, err := experiments.ReplayExperiment(scale, tracePath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Replay: schedulers on an ingested trace ==\n%s",
+			experiments.FormatReplay(rep))
 	case "fig2":
 		d := experiments.Figure2(scale)
 		fmt.Println("== Figure 2: request-size CDFs ==")

@@ -7,6 +7,7 @@
 //	gfsim -scheduler yarn -nodes 287 -days 3
 //	gfsim -scheduler gfs -hours 4 -events 20
 //	gfsim -scheduler gfs -scenario diurnal-storm
+//	gfsim -trace trace.csv.gz -scheduler yarn
 //	gfsim -federation -scenario zone-cascade -route forecast-aware
 //
 // Schedulers: gfs, gfs-e, gfs-d, gfs-s, gfs-p, gfs-sp, yarn, chronus,
@@ -15,6 +16,14 @@
 // injects a named storm profile (rack-failure, zone-cascade,
 // diurnal-storm, random-storms); runs are deterministic, so repeated
 // invocations print identical metrics.
+//
+// -trace replays a trace file instead of generating a workload: any
+// format gfstrace can read (CSV/JSONL, gzipped or not, plus the
+// Alibaba and Philly schemas), streamed through the engine's Inject
+// core — the file is decoded as the simulated clock advances, never
+// loaded whole. It composes with every scheduler, -scenario and
+// -federation; -days and -spotscale describe generated workloads
+// only, so they are rejected alongside it.
 //
 // -federation runs a two-member federation instead of one cluster:
 // "west" (hit by -scenario, when given) and "east" (calm), each a
@@ -46,12 +55,22 @@ func main() {
 	scenario := flag.String("scenario", "", "named scenario profile (rack-failure, zone-cascade, diurnal-storm, random-storms)")
 	federation := flag.Bool("federation", false, "run a two-member federation (west = -scenario, east calm)")
 	route := flag.String("route", "least-loaded", "federation route policy (least-loaded, cheapest-spot, forecast-aware, round-robin)")
+	tracePath := flag.String("trace", "", "replay this trace file (streamed; gzip and format auto-detected) instead of generating a workload")
 	flag.Parse()
 
 	scale := experiments.SmallScale()
 	scale.Nodes = *nodes
 	scale.Days = *days
 	scale.Seed = *seed
+
+	if *tracePath != "" {
+		// Generation knobs have no meaning for a replayed file.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "days" || f.Name == "spotscale" {
+				fail(fmt.Errorf("-%s does not apply to -trace (the file fixes the workload)", f.Name))
+			}
+		})
+	}
 
 	if *federation {
 		// Federation members run the default reactive GFS stack;
@@ -61,13 +80,18 @@ func main() {
 				fail(fmt.Errorf("-%s does not apply to -federation (members run the reactive GFS stack)", f.Name))
 			}
 		})
-		runFederation(scale, *spotScale, *scenario, *route, *events)
+		runFederation(scale, *spotScale, *scenario, *route, *events, *tracePath)
 		return
 	}
 
-	tasks := scale.Trace(*spotScale)
-	fmt.Printf("cluster: %d nodes × 8 GPUs; trace: %d tasks over %d day(s)\n",
-		*nodes, len(tasks), *days)
+	var tasks []*gfs.Task
+	if *tracePath != "" {
+		fmt.Printf("cluster: %d nodes × 8 GPUs; replaying %s (streamed)\n", *nodes, *tracePath)
+	} else {
+		tasks = scale.Trace(*spotScale)
+		fmt.Printf("cluster: %d nodes × 8 GPUs; trace: %d tasks over %d day(s)\n",
+			*nodes, len(tasks), *days)
+	}
 
 	var extra []gfs.Option
 	if *scenario != "" {
@@ -88,7 +112,18 @@ func main() {
 		})))
 	}
 
+	// openTrace opens the replay source fresh (sources are
+	// single-use); nil without -trace.
+	openTrace := func() gfs.TraceSource {
+		src, err := gfs.OpenTrace(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		return src
+	}
+
 	var res *sched.Result
+	var err error
 	switch *scheduler {
 	case "gfs", "gfs-e", "gfs-d", "gfs-s", "gfs-p", "gfs-sp":
 		variant := map[string]experiments.GFSVariant{
@@ -99,34 +134,55 @@ func main() {
 			"gfs-p":  experiments.GFSRandomPreempt,
 			"gfs-sp": experiments.GFSSimpleBoth,
 		}[*scheduler]
-		est, err := trainFor(scale, variant)
-		if err != nil {
-			fail(err)
+		est, terr := trainFor(scale, variant)
+		if terr != nil {
+			fail(terr)
 		}
 		sys := scale.NewGFS(est, variant, *guarantee)
-		res = scale.RunGFS(sys, tasks, extra...)
-		fmt.Printf("final η: %.3f\n", sys.Quota.Allocator().Eta())
+		if *tracePath != "" {
+			res, err = scale.ReplayGFS(sys, openTrace(), extra...)
+		} else {
+			res = scale.RunGFS(sys, tasks, extra...)
+		}
+		if err == nil {
+			fmt.Printf("final η: %.3f\n", sys.Quota.Allocator().Eta())
+		}
 	case "yarn":
-		res = scale.RunBaseline(baselines.NewYARNCS(), nil, tasks, extra...)
+		res, err = runSched(scale, baselines.NewYARNCS(), nil, tasks, *tracePath, openTrace, extra)
 	case "chronus":
-		res = scale.RunBaseline(baselines.NewChronus(), nil, tasks, extra...)
+		res, err = runSched(scale, baselines.NewChronus(), nil, tasks, *tracePath, openTrace, extra)
 	case "lyra":
-		res = scale.RunBaseline(baselines.NewLyra(), nil, tasks, extra...)
+		res, err = runSched(scale, baselines.NewLyra(), nil, tasks, *tracePath, openTrace, extra)
 	case "fgd":
-		res = scale.RunBaseline(baselines.NewFGD(), nil, tasks, extra...)
+		res, err = runSched(scale, baselines.NewFGD(), nil, tasks, *tracePath, openTrace, extra)
 	case "firstfit":
-		res = scale.RunBaseline(baselines.NewStaticFirstFit(),
-			sched.StaticQuota{Fraction: 0.25}, tasks, extra...)
+		res, err = runSched(scale, baselines.NewStaticFirstFit(),
+			sched.StaticQuota{Fraction: 0.25}, tasks, *tracePath, openTrace, extra)
 	default:
 		fail(fmt.Errorf("unknown scheduler %q", *scheduler))
+	}
+	if err != nil {
+		fail(err)
 	}
 	printResult(res)
 }
 
+// runSched runs a baseline over the generated trace or, with a trace
+// path, replays the streamed file.
+func runSched(scale experiments.SimScale, sc sched.Scheduler, quota sched.QuotaPolicy,
+	tasks []*gfs.Task, tracePath string, openTrace func() gfs.TraceSource, extra []gfs.Option) (*sched.Result, error) {
+	if tracePath != "" {
+		return scale.ReplayBaseline(sc, quota, openTrace(), extra...)
+	}
+	return scale.RunBaseline(sc, quota, tasks, extra...), nil
+}
+
 // runFederation drives the two-member federated simulation: both
 // members run the reactive GFS stack over -nodes clusters; the storm
-// scenario (when given) hits west only.
-func runFederation(scale experiments.SimScale, spotScale float64, scenario, route string, events int) {
+// scenario (when given) hits west only. With a trace path the
+// federation replays the streamed file instead of a generated
+// workload.
+func runFederation(scale experiments.SimScale, spotScale float64, scenario, route string, events int, tracePath string) {
 	policies := map[string]func() gfs.RoutePolicy{
 		"least-loaded":   gfs.RouteLeastLoaded,
 		"cheapest-spot":  gfs.RouteCheapestSpot,
@@ -161,13 +217,28 @@ func runFederation(scale experiments.SimScale, spotScale float64, scenario, rout
 			}
 		})))
 	}
-	// Size the workload for the combined two-member capacity.
-	tscale := scale
-	tscale.Nodes *= 2
-	tasks := tscale.Trace(spotScale)
-	fmt.Printf("federation: 2 × %d nodes × 8 GPUs; route %s; trace: %d tasks over %d day(s)\n",
-		scale.Nodes, route, len(tasks), scale.Days)
-	res := gfs.NewFederation(members, fedOpts...).Run(tasks)
+	fed := gfs.NewFederation(members, fedOpts...)
+	var res *gfs.FederationResult
+	if tracePath != "" {
+		src, err := gfs.OpenTrace(tracePath)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("federation: 2 × %d nodes × 8 GPUs; route %s; replaying %s (streamed)\n",
+			scale.Nodes, route, tracePath)
+		res, err = fed.RunTrace(src)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		// Size the workload for the combined two-member capacity.
+		tscale := scale
+		tscale.Nodes *= 2
+		tasks := tscale.Trace(spotScale)
+		fmt.Printf("federation: 2 × %d nodes × 8 GPUs; route %s; trace: %d tasks over %d day(s)\n",
+			scale.Nodes, route, len(tasks), scale.Days)
+		res = fed.Run(tasks)
+	}
 	for _, m := range res.Members {
 		fmt.Printf("\n-- member %s (routed %d, migrated in %d / out %d, goodput %.1f GPU-h) --\n",
 			m.Name, m.Routed, m.MigratedIn, m.MigratedOut, m.GoodputGPUSeconds/3600)

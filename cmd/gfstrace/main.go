@@ -1,56 +1,270 @@
 // Command gfstrace generates synthetic workload traces matching the
-// paper's production statistics (Table 3) and prints or saves them.
+// paper's production statistics (Table 3) and streams traces between
+// formats.
 //
-// Usage:
+// Generation (the default mode):
 //
 //	gfstrace -days 3 -gpus 2296 -out trace.csv
-//	gfstrace -days 1 -stats
+//	gfstrace -days 1 -out trace.csv.gz        # gzip by extension
+//	gfstrace -days 1 -out trace.jsonl         # JSONL by extension
 //	gfstrace -regime 2020 -stats
+//
+// Streaming subcommands, each a constant-memory stdin→stdout pipe
+// (or -in/-out files, gzip-transparent in both directions):
+//
+//	gfstrace convert -from alibaba -to csv < pai_task_table.csv > trace.csv
+//	gfstrace convert -window 24h -ratescale 2 < trace.csv > day1-2x.csv
+//	gfstrace validate < trace.csv.gz
+//	gfstrace stats -in trace.jsonl
+//
+// convert decodes any supported format (csv, jsonl, alibaba, philly;
+// auto-sniffed by default), applies optional transforms (-rebase,
+// -ratescale, -window, -sort) and re-encodes as -to (csv or jsonl,
+// gzipped when -out ends in .gz). validate checks every record and
+// the submission-time ordering replay requires. stats streams the
+// Table 3 summary without materializing the trace.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
+	"strings"
 
 	gfs "github.com/sjtucitlab/gfs"
 )
 
 func main() {
-	days := flag.Int("days", 3, "trace span in days")
-	gpus := flag.Float64("gpus", 2296, "cluster GPU capacity for load calibration")
-	spotScale := flag.Float64("spotscale", 1, "spot submission multiplier")
-	seed := flag.Int64("seed", 1, "generation seed")
-	regime := flag.String("regime", "2024", "workload regime: 2024 | 2020")
-	out := flag.String("out", "", "write CSV to this path (default: stdout stats only)")
-	showStats := flag.Bool("stats", false, "print trace statistics")
-	flag.Parse()
+	if len(os.Args) > 1 {
+		switch arg := os.Args[1]; arg {
+		case "convert":
+			runConvert(os.Args[2:])
+			return
+		case "validate":
+			runValidate(os.Args[2:])
+			return
+		case "stats":
+			runStats(os.Args[2:])
+			return
+		default:
+			// Anything that isn't a flag must be a subcommand; a typo
+			// ("stat") must not silently fall through to generation.
+			if !strings.HasPrefix(arg, "-") {
+				fail(fmt.Errorf("unknown subcommand %q (valid: convert, validate, stats; no subcommand generates a trace)", arg))
+			}
+		}
+	}
+	runGenerate(os.Args[1:])
+}
+
+// rejectArgs fails on positional arguments so a path given without
+// -in cannot be silently ignored (and stdin read instead).
+func rejectArgs(fs *flag.FlagSet) {
+	if fs.NArg() > 0 {
+		fail(fmt.Errorf("unexpected argument %q (inputs are read from stdin or -in, outputs written to stdout or -out)", fs.Arg(0)))
+	}
+}
+
+// runGenerate is the original trace-generation mode.
+func runGenerate(args []string) {
+	fs := flag.NewFlagSet("gfstrace", flag.ExitOnError)
+	days := fs.Int("days", 3, "trace span in days")
+	gpus := fs.Float64("gpus", 2296, "cluster GPU capacity for load calibration")
+	spotScale := fs.Float64("spotscale", 1, "spot submission multiplier")
+	seed := fs.Int64("seed", 1, "generation seed")
+	regime := fs.String("regime", "2024", "workload regime: 2024 | 2020")
+	out := fs.String("out", "", "write the trace to this path (.csv/.jsonl, .gz to compress; default: stdout stats only)")
+	showStats := fs.Bool("stats", false, "print trace statistics")
+	fs.Parse(args)
+	rejectArgs(fs)
 
 	cfg := gfs.DefaultTraceConfig()
 	cfg.Days = *days
 	cfg.ClusterGPUs = *gpus
 	cfg.SpotScale = *spotScale
 	cfg.Seed = *seed
-	if *regime == "2020" {
-		cfg.Regime = gfs.Regime2020
+	reg, err := gfs.ParseTraceRegime(*regime)
+	if err != nil {
+		fail(err)
 	}
+	cfg.Regime = reg
 	tasks := gfs.GenerateTrace(cfg)
 	fmt.Printf("generated %d tasks over %d day(s)\n", len(tasks), *days)
 
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fail(err)
-		}
-		defer f.Close()
-		if err := gfs.WriteTraceCSV(f, tasks); err != nil {
+		if err := gfs.WriteTraceFile(*out, tasks); err != nil {
 			fail(err)
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
 	if *showStats || *out == "" {
 		printStats(gfs.SummarizeTrace(tasks))
+	}
+}
+
+// openIn opens -in (or stdin) as a trace source with the requested
+// format; gzip is sniffed either way.
+func openIn(path, format string) (gfs.TraceSource, func()) {
+	f, err := gfs.ParseTraceFormat(format)
+	if err != nil {
+		fail(err)
+	}
+	if path == "" {
+		src, err := gfs.OpenTraceReader(os.Stdin, f)
+		if err != nil {
+			fail(err)
+		}
+		return src, func() {}
+	}
+	src, err := gfs.OpenTraceFormat(path, f)
+	if err != nil {
+		fail(err)
+	}
+	return src, func() { src.Close() }
+}
+
+// openOut builds the output encoder: -out (with gzip-by-extension,
+// via the shared trace file-encoder helper) or stdout. The format is
+// -to when given, else the path extension, else csv.
+func openOut(path, to string) (gfs.TraceEncoder, func()) {
+	format := gfs.TraceFormatAuto
+	if path == "" {
+		format = gfs.TraceFormatCSV
+	}
+	if to != "" {
+		f, err := gfs.ParseTraceFormat(to)
+		if err != nil {
+			fail(err)
+		}
+		if f != gfs.TraceFormatCSV && f != gfs.TraceFormatJSONL {
+			fail(fmt.Errorf("-to %s: writable formats are csv and jsonl", to))
+		}
+		format = f
+	}
+	if path == "" {
+		enc, err := gfs.NewTraceEncoder(os.Stdout, format)
+		if err != nil {
+			fail(err)
+		}
+		return enc, func() {
+			if err := enc.Flush(); err != nil {
+				fail(err)
+			}
+		}
+	}
+	enc, closeAll, err := gfs.CreateTraceFileEncoder(path, format)
+	if err != nil {
+		fail(err)
+	}
+	return enc, func() {
+		if err := closeAll(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+// runConvert streams -in → transforms → -out without materializing
+// the trace.
+func runConvert(args []string) {
+	fs := flag.NewFlagSet("gfstrace convert", flag.ExitOnError)
+	in := fs.String("in", "", "input path (default stdin; gzip auto-detected)")
+	out := fs.String("out", "", "output path (default stdout; .gz compresses)")
+	from := fs.String("from", "auto", "input format: auto | csv | jsonl | alibaba | philly")
+	to := fs.String("to", "", "output format: csv | jsonl (default: by -out extension, else csv)")
+	rebase := fs.Bool("rebase", false, "shift submissions so the first task arrives at t=0")
+	rate := fs.Float64("ratescale", 1, "divide submission times by this factor (2 = twice the arrival rate)")
+	window := fs.Duration("window", 0, "keep only the first window of trace time, measured from the first task (applies before rate scaling), e.g. 24h")
+	sortFlag := fs.Bool("sort", false, "sort by submission time (materializes the trace; for unsorted external dumps)")
+	fs.Parse(args)
+	rejectArgs(fs)
+
+	base, closeIn := openIn(*in, *from)
+	defer closeIn()
+	src := base
+	if *sortFlag {
+		src = gfs.SortTraceBySubmit(src)
+	}
+	if *rebase {
+		src = gfs.RebaseTrace(src, 0)
+	}
+	// The window is anchored at the first task's submission (so it
+	// works on dumps at any epoch) and selects trace time, so it
+	// applies before rate scaling compresses the clock.
+	if *window > 0 {
+		span := gfs.Duration(window.Seconds())
+		if span < 1 {
+			fail(fmt.Errorf("-window %v is below the simulator's 1-second resolution", *window))
+		}
+		src = gfs.HeadWindowTrace(src, span)
+	}
+	if *rate != 1 {
+		src = gfs.RateScaleTrace(src, *rate)
+	}
+
+	enc, closeOut := openOut(*out, *to)
+	n := 0
+	for {
+		tk, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			fail(err)
+		}
+		if err := enc.Encode(tk); err != nil {
+			fail(err)
+		}
+		n++
+	}
+	closeOut()
+	reportSkipped(base)
+	fmt.Fprintf(os.Stderr, "converted %d tasks\n", n)
+}
+
+// runValidate drains the input, checking fields and ordering.
+func runValidate(args []string) {
+	fs := flag.NewFlagSet("gfstrace validate", flag.ExitOnError)
+	in := fs.String("in", "", "input path (default stdin; gzip auto-detected)")
+	from := fs.String("from", "auto", "input format: auto | csv | jsonl | alibaba | philly")
+	fs.Parse(args)
+	rejectArgs(fs)
+
+	src, closeIn := openIn(*in, *from)
+	defer closeIn()
+	n, err := gfs.ValidateTrace(src)
+	reportSkipped(src)
+	if err != nil {
+		fail(fmt.Errorf("after %d valid tasks: %w", n, err))
+	}
+	fmt.Printf("ok: %d tasks, sorted by submission, all fields valid\n", n)
+}
+
+// runStats streams the Table 3 summary.
+func runStats(args []string) {
+	fs := flag.NewFlagSet("gfstrace stats", flag.ExitOnError)
+	in := fs.String("in", "", "input path (default stdin; gzip auto-detected)")
+	from := fs.String("from", "auto", "input format: auto | csv | jsonl | alibaba | philly")
+	fs.Parse(args)
+	rejectArgs(fs)
+
+	src, closeIn := openIn(*in, *from)
+	defer closeIn()
+	s, err := gfs.SummarizeTraceSource(src)
+	reportSkipped(src)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("tasks: %d spanning %.1f h, %.0f GPU-h offered\n",
+		s.HPCount+s.SpotCount, s.LastSubmit.Sub(s.FirstSubmit).Hours(), s.TotalGPUSeconds/3600)
+	printStats(s)
+}
+
+// reportSkipped prints the dropped-row count of lenient adapters.
+func reportSkipped(src gfs.TraceSource) {
+	if sk, ok := src.(gfs.TraceSkipper); ok && sk.Skipped() > 0 {
+		fmt.Fprintf(os.Stderr, "skipped %d unusable rows\n", sk.Skipped())
 	}
 }
 

@@ -1,6 +1,8 @@
 package gfs
 
 import (
+	"errors"
+
 	"github.com/sjtucitlab/gfs/internal/core"
 	"github.com/sjtucitlab/gfs/internal/sched"
 )
@@ -60,6 +62,9 @@ const (
 type Engine struct {
 	cluster *Cluster
 	cfg     sched.SimConfig
+	// src is the streaming trace attached by WithTraceSource, drained
+	// by RunTrace.
+	src TraceSource
 	// hasScheduler/hasQuota track whether options supplied them, so
 	// defaults fill in only what is missing.
 	hasScheduler bool
@@ -100,4 +105,25 @@ func (e *Engine) Config() SimConfig { return e.cfg }
 // run via RunBatch.
 func (e *Engine) Run(tasks []*Task) *Result {
 	return sched.Run(e.cfg, tasks)
+}
+
+// TraceSource returns the streaming trace attached by WithTraceSource
+// (nil without one).
+func (e *Engine) TraceSource() TraceSource { return e.src }
+
+// RunTrace executes the simulation over the engine's attached trace
+// source (WithTraceSource): tasks are pulled one at a time and
+// injected as the clock reaches their submission times, so ingestion
+// stays constant-memory and works on traces far larger than RAM. The
+// replayed run is event-for-event identical to Run over the same
+// trace (see sched.RunSource for the idle-gap quota-tick caveat).
+// Decode and ordering errors from the source abort the run. Like Run,
+// it mutates replayed tasks and the cluster, so an engine runs one
+// trace; the source is closed when the replay ends.
+func (e *Engine) RunTrace() (*Result, error) {
+	if e.src == nil {
+		return nil, errors.New("gfs: RunTrace needs WithTraceSource")
+	}
+	defer e.src.Close()
+	return sched.RunSource(e.cfg, e.src)
 }

@@ -207,6 +207,23 @@ func (f *Federation) Members() []Member { return f.members }
 // per-member and aggregate metrics. Tasks and member clusters are
 // mutated in place, so each Run needs a fresh federation and trace.
 func (f *Federation) Run(tasks []*Task) *FederationResult {
+	return sched.RunFederation(f.fedConfig(), tasks)
+}
+
+// RunTrace executes the federated simulation over a streaming trace
+// source: arrivals are pulled just ahead of the shared clock and
+// routed to members through the same Inject path as Run, so federated
+// replay of an ingested trace stays constant-memory on the ingestion
+// side. The source must yield tasks in non-decreasing submission
+// order; it is closed when the replay ends.
+func (f *Federation) RunTrace(src TraceSource) (*FederationResult, error) {
+	defer src.Close()
+	return sched.RunFederationSource(f.fedConfig(), src)
+}
+
+// fedConfig lowers the federation's members and policies onto the
+// simulator core's configuration.
+func (f *Federation) fedConfig() sched.FedConfig {
 	cfg := sched.FedConfig{
 		Route:          f.route,
 		Spill:          f.spill,
@@ -225,5 +242,5 @@ func (f *Federation) Run(tasks []*Task) *FederationResult {
 		}
 		cfg.Members = append(cfg.Members, fm)
 	}
-	return sched.RunFederation(cfg, tasks)
+	return cfg
 }

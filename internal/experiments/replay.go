@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"strings"
+
+	gfs "github.com/sjtucitlab/gfs"
+	"github.com/sjtucitlab/gfs/internal/baselines"
+	"github.com/sjtucitlab/gfs/internal/sched"
+	"github.com/sjtucitlab/gfs/internal/trace"
+)
+
+// ReplayRow is one scheduler's metrics over the ingested trace.
+type ReplayRow struct {
+	Scheduler      string
+	HPJCT          float64
+	SpotJCT        float64
+	SpotJQT        float64
+	EvictionRate   float64
+	AllocationRate float64
+	Unfinished     int
+}
+
+// ReplayReport is the replay experiment's output: the ingested
+// trace's workload statistics plus one row per scheduler replaying
+// it.
+type ReplayReport struct {
+	// TracePath is the ingested file ("" when the experiment
+	// synthesized and round-tripped its own trace).
+	TracePath string
+	// Stats summarizes the ingested workload (one streaming pass).
+	Stats trace.Stats
+	// Rows holds per-scheduler replay metrics.
+	Rows []ReplayRow
+}
+
+// replaySchedulers is the replay lineup: the reactive GFS stack (nil
+// scheduler = engine default) against the Table 5 baselines.
+var replaySchedulers = []struct {
+	name  string
+	build func() sched.Scheduler
+	quota func() sched.QuotaPolicy
+}{
+	{"GFS", nil, nil},
+	{"YARN-CS", func() sched.Scheduler { return baselines.NewYARNCS() }, nil},
+	{"Chronus", func() sched.Scheduler { return baselines.NewChronus() }, nil},
+	{"Lyra", func() sched.Scheduler { return baselines.NewLyra() }, nil},
+	{"FGD", func() sched.Scheduler { return baselines.NewFGD() }, nil},
+	{"FirstFit", func() sched.Scheduler { return baselines.NewStaticFirstFit() },
+		func() sched.QuotaPolicy { return sched.StaticQuota{Fraction: 0.25} }},
+}
+
+// ReplayExperiment compares schedulers replaying one ingested trace.
+// With a path it streams that file (any format OpenTrace accepts);
+// without one it synthesizes the scale's workload, round-trips it
+// through the gzipped-CSV interchange format in memory, and ingests
+// that — so the default experiment still exercises the full
+// encode → compress → sniff → decode → replay pipeline. Every
+// scheduler replays a freshly opened source through RunBatch's replay
+// path; results are deterministic at any worker count.
+func ReplayExperiment(scale SimScale, path string) (*ReplayReport, error) {
+	open := func() (trace.Source, error) { return trace.Open(path) }
+	if path == "" {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if err := trace.WriteCSV(zw, scale.Trace(2)); err != nil {
+			return nil, err
+		}
+		if err := zw.Close(); err != nil {
+			return nil, err
+		}
+		data := buf.Bytes()
+		open = func() (trace.Source, error) {
+			return trace.OpenReader(bytes.NewReader(data), trace.FormatAuto)
+		}
+	}
+
+	src, err := open()
+	if err != nil {
+		return nil, err
+	}
+	stats, err := trace.SummarizeSource(src)
+	if err != nil {
+		return nil, err
+	}
+
+	specs := make([]gfs.BatchSpec, 0, len(replaySchedulers))
+	for _, s := range replaySchedulers {
+		s := s
+		specs = append(specs, gfs.BatchSpec{
+			Name: s.name,
+			Setup: func() (*gfs.Engine, []*gfs.Task) {
+				src, err := open()
+				if err != nil {
+					// Surface the open failure through the batch
+					// error path rather than replaying nothing.
+					src = errSource{err: err}
+				}
+				opts := []gfs.Option{gfs.WithTraceSource(src)}
+				if s.build != nil {
+					opts = append(opts, gfs.WithScheduler(s.build()))
+					var quota sched.QuotaPolicy
+					if s.quota != nil {
+						quota = s.quota()
+					}
+					opts = append(opts, gfs.WithQuota(quota))
+				}
+				return gfs.NewEngine(scale.NewCluster(), opts...), nil
+			},
+		})
+	}
+	report := &ReplayReport{TracePath: path, Stats: stats}
+	for _, br := range gfs.RunBatch(specs) {
+		if br.Err != nil {
+			return nil, fmt.Errorf("replay %s: %w", br.Name, br.Err)
+		}
+		r := br.Result
+		report.Rows = append(report.Rows, ReplayRow{
+			Scheduler:      br.Name,
+			HPJCT:          r.HP.JCT,
+			SpotJCT:        r.Spot.JCT,
+			SpotJQT:        r.Spot.JQT,
+			EvictionRate:   r.Spot.EvictionRate,
+			AllocationRate: r.AllocationRate,
+			Unfinished:     r.UnfinishedHP + r.UnfinishedSpot,
+		})
+	}
+	return report, nil
+}
+
+// errSource propagates a source-open failure through the replay
+// loop's error path.
+type errSource struct{ err error }
+
+func (e errSource) Next() (*gfs.Task, error) { return nil, e.err }
+
+func (e errSource) Close() error { return nil }
+
+// FormatReplay renders the replay experiment as a table.
+func FormatReplay(rep *ReplayReport) string {
+	var b strings.Builder
+	src := rep.TracePath
+	if src == "" {
+		src = "synthesized gzip-CSV round trip"
+	}
+	s := rep.Stats
+	fmt.Fprintf(&b, "trace: %s\n", src)
+	fmt.Fprintf(&b, "ingested %d tasks (%.1f%% HP) spanning %.1f h, %.0f GPU-h offered\n",
+		s.HPCount+s.SpotCount, 100*s.HPFrac,
+		s.LastSubmit.Sub(s.FirstSubmit).Hours(), s.TotalGPUSeconds/3600)
+	fmt.Fprintf(&b, "%-10s %10s %10s %10s %9s %9s %6s\n",
+		"Scheduler", "HP JCT(s)", "SpotJCT(s)", "SpotJQT(s)", "Evict%", "Alloc%", "Unfin")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(&b, "%-10s %10.1f %10.1f %10.1f %8.2f%% %8.2f%% %6d\n",
+			r.Scheduler, r.HPJCT, r.SpotJCT, r.SpotJQT,
+			100*r.EvictionRate, 100*r.AllocationRate, r.Unfinished)
+	}
+	return b.String()
+}

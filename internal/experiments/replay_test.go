@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestReplayExperiment: the synthesized round-trip variant ingests a
+// non-empty workload, produces one row per scheduler, and is
+// deterministic call-over-call (each call re-encodes, re-sniffs and
+// re-decodes the trace).
+func TestReplayExperiment(t *testing.T) {
+	scale := SmallScale()
+	a, err := ReplayExperiment(scale, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(replaySchedulers) {
+		t.Fatalf("want %d rows, got %d", len(replaySchedulers), len(a.Rows))
+	}
+	if a.Stats.HPCount+a.Stats.SpotCount == 0 {
+		t.Fatal("ingested no tasks")
+	}
+	for _, r := range a.Rows {
+		if r.HPJCT <= 0 {
+			t.Fatalf("%s: implausible HP JCT %v", r.Scheduler, r.HPJCT)
+		}
+	}
+	b, err := ReplayExperiment(scale, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Rows, b.Rows) {
+		t.Fatalf("replay experiment not deterministic:\n%+v\n%+v", a.Rows, b.Rows)
+	}
+	if FormatReplay(a) == "" {
+		t.Fatal("empty report")
+	}
+}

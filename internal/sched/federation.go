@@ -346,6 +346,10 @@ type fedSim struct {
 	// satLast dedupes ClusterSaturated per member and timestamp
 	// (initialized to -1, before any simulated instant).
 	satLast []simclock.Time
+	// feed, when non-nil, streams arrivals in just ahead of the
+	// shared clock (RunFederationSource); RunFederation leaves it nil
+	// and preloads the queue instead.
+	feed *replayFeed
 }
 
 // fedTap forwards one member's event stream to the federation
@@ -371,8 +375,24 @@ func (t fedTap) OnEvent(e Event) {
 // advance in lockstep, and capacity-loss victims spill over per the
 // spillover policy. The run is deterministic in (config, trace).
 func RunFederation(cfg FedConfig, tasks []*task.Task) *FedResult {
+	f, err := newFedSim(cfg)
+	if err != nil {
+		panic(err.Error())
+	}
+	for _, tk := range tasks {
+		f.queue.PushFront(tk.Submit, fedArrival{tk: tk})
+	}
+	// With no streaming feed the loop cannot fail.
+	_ = f.loop()
+	return f.finish()
+}
+
+// newFedSim builds the shared-clock driver over the configured
+// members; RunFederation and RunFederationSource differ only in how
+// arrivals reach its queue.
+func newFedSim(cfg FedConfig) (*fedSim, error) {
 	if len(cfg.Members) == 0 {
-		panic("sched: RunFederation needs at least one member")
+		return nil, fmt.Errorf("sched: federation needs at least one member")
 	}
 	if cfg.Route == nil {
 		cfg.Route = RouteLeastLoaded{}
@@ -414,21 +434,41 @@ func RunFederation(cfg FedConfig, tasks []*task.Task) *FedResult {
 			sim:       sim,
 		})
 	}
-	for _, tk := range tasks {
-		f.queue.Push(tk.Submit, fedArrival{tk: tk})
+	return f, nil
+}
+
+// refill drains the streaming feed into the federation queue just
+// ahead of the clock: every task due at or before the earliest
+// pending timestamp is pushed (front class, like preloaded arrivals)
+// before that instant resolves. With no feed it is a no-op.
+func (f *fedSim) refill() error {
+	if f.feed == nil {
+		return nil
 	}
-	f.loop()
-	return f.finish()
+	for f.feed.next != nil {
+		if t, ok := f.nextTime(); ok && f.feed.next.Submit > t {
+			return nil
+		}
+		tk := f.feed.next
+		if err := f.feed.pull(); err != nil {
+			return err
+		}
+		f.queue.PushFront(tk.Submit, fedArrival{tk: tk})
+	}
+	return nil
 }
 
 // loop advances the shared clock: at each instant, federation events
 // (routing, migration delivery) resolve first, then every member with
 // events at that instant steps, in member order.
-func (f *fedSim) loop() {
+func (f *fedSim) loop() error {
 	for {
+		if err := f.refill(); err != nil {
+			return err
+		}
 		t, ok := f.nextTime()
 		if !ok {
-			return
+			return nil
 		}
 		f.now = t
 		for {

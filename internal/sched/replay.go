@@ -1,0 +1,121 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/task"
+)
+
+// TaskSource is the pull iterator the streaming replay loops drain:
+// Next returns tasks in non-decreasing submission order and io.EOF at
+// the end of the trace. internal/trace.Source satisfies it
+// structurally, so any decoded or transformed trace stream replays
+// without an adapter; the package deliberately does not depend on the
+// codecs.
+type TaskSource interface {
+	// Next returns the next task, or io.EOF when the trace ends.
+	Next() (*task.Task, error)
+}
+
+// replayFeed pulls tasks from a source just ahead of the simulated
+// clock, enforcing the sorted-submission contract. It holds at most
+// one task of lookahead, which is what makes replay constant-memory
+// on the ingestion side.
+type replayFeed struct {
+	src  TaskSource
+	next *task.Task
+	last simclock.Time
+	n    int
+	done bool
+}
+
+// pull loads the next task into the lookahead slot.
+func (f *replayFeed) pull() error {
+	if f.done {
+		return nil
+	}
+	tk, err := f.src.Next()
+	if err == io.EOF {
+		f.next, f.done = nil, true
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	if tk == nil {
+		return fmt.Errorf("sched: replay source returned a nil task")
+	}
+	if f.n > 0 && tk.Submit < f.last {
+		return fmt.Errorf("sched: replay requires submission order: task %d submits at %d after %d (sort or rebase the trace first)",
+			tk.ID, tk.Submit, f.last)
+	}
+	f.last = tk.Submit
+	f.n++
+	f.next = tk
+	return nil
+}
+
+// RunSource executes the simulation over a streamed trace: tasks are
+// pulled from src one at a time and Injected as the clock reaches
+// their submission times, so ingestion never materializes the trace.
+// The source must yield tasks in non-decreasing submission order (as
+// every trace codec in this module does) with unique positive IDs —
+// the simulator's epoch and dedup bookkeeping key on them, and
+// checking uniqueness here would cost the O(trace) memory streaming
+// exists to avoid (the codecs reject non-positive IDs at decode).
+//
+// A streamed run is event-for-event identical to Run over the same
+// trace, with one caveat: if the simulator goes completely idle
+// between two arrivals (nothing queued, running or pending for longer
+// than the quota interval), the quota tick chain re-anchors at the
+// next arrival instead of keeping the original phase, since a
+// streaming simulator cannot see into its future.
+func RunSource(cfg SimConfig, src TaskSource) (*Result, error) {
+	s := NewSimulator(cfg, nil)
+	feed := &replayFeed{src: src}
+	if err := feed.pull(); err != nil {
+		return nil, err
+	}
+	for {
+		// Inject every task due at or before the next pending event,
+		// so an arrival is always queued before the clock steps past
+		// its submission time.
+		for feed.next != nil {
+			if at, ok := s.PeekTime(); ok && feed.next.Submit > at {
+				break
+			}
+			tk := feed.next
+			if err := feed.pull(); err != nil {
+				return nil, err
+			}
+			s.Inject(tk, tk.Submit)
+		}
+		if !s.Step() {
+			break
+		}
+	}
+	return s.Finish(), nil
+}
+
+// RunFederationSource executes a federated simulation over a streamed
+// trace: like RunFederation, but arrivals are pulled from src just
+// ahead of the shared clock instead of being queued up front, so the
+// routing loop ingests arbitrarily large traces in constant memory.
+// The source must yield tasks in non-decreasing submission order.
+func RunFederationSource(cfg FedConfig, src TaskSource) (*FedResult, error) {
+	f, err := newFedSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	feed := &replayFeed{src: src}
+	if err := feed.pull(); err != nil {
+		return nil, err
+	}
+	f.feed = feed
+	if err := f.loop(); err != nil {
+		return nil, err
+	}
+	return f.finish(), nil
+}

@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/sjtucitlab/gfs/internal/cluster"
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/task"
+	"github.com/sjtucitlab/gfs/internal/trace"
+)
+
+// replayTrace generates a dense one-day workload small enough for
+// fast tests but busy enough that ties (same-second arrivals, quota
+// ticks during arrivals) actually occur.
+func replayTrace(seed int64) []*task.Task {
+	cfg := trace.Default()
+	cfg.Seed = seed
+	cfg.Days = 1
+	cfg.ClusterGPUs = 128
+	cfg.SpotScale = 2
+	cfg.MaxDuration = 6 * simclock.Hour
+	return trace.Generate(cfg)
+}
+
+// TestRunSourceMatchesRun: streaming a trace through RunSource must
+// be event-for-event identical to preloading it with Run — the
+// PushFront arrival class makes mid-run injection tie-break exactly
+// like construction-time queueing.
+func TestRunSourceMatchesRun(t *testing.T) {
+	run := func(streamed bool) (*Result, *EventLog) {
+		cl := cluster.NewHomogeneous("A100", 16, 8)
+		log := &EventLog{}
+		cfg := DefaultSimConfig(cl, &firstFit{preempt: true})
+		cfg.Quota = StaticQuota{Fraction: 0.5}
+		cfg.Observers = []Observer{log}
+		tasks := replayTrace(41)
+		if !streamed {
+			return Run(cfg, tasks), log
+		}
+		res, err := RunSource(cfg, trace.SliceSource(tasks))
+		if err != nil {
+			t.Fatalf("RunSource: %v", err)
+		}
+		return res, log
+	}
+	eager, eagerLog := run(false)
+	streamed, streamedLog := run(true)
+
+	if eagerLog.String() != streamedLog.String() {
+		a, b := eagerLog.String(), streamedLog.String()
+		al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+		for i := range al {
+			if i >= len(bl) || al[i] != bl[i] {
+				t.Fatalf("event logs diverge at line %d:\n  eager:    %s\n  streamed: %s", i, al[i], bl[i])
+			}
+		}
+		t.Fatalf("event logs differ in length: %d vs %d lines", len(al), len(bl))
+	}
+	if eager.AllocationRate != streamed.AllocationRate ||
+		eager.WastedGPUSeconds != streamed.WastedGPUSeconds ||
+		eager.Spot.Evictions != streamed.Spot.Evictions ||
+		eager.HP.JCT != streamed.HP.JCT || eager.End != streamed.End {
+		t.Fatalf("metrics differ:\n eager    %+v\n streamed %+v", eager, streamed)
+	}
+}
+
+// TestRunSourceWithScenario: replay composes with scenario injection;
+// the streamed run matches the eager run under a mid-trace node kill.
+func TestRunSourceWithScenario(t *testing.T) {
+	scenario := []ScenarioAction{
+		{At: 4 * simclock.Time(simclock.Hour), Op: OpNodeDown, NodeID: 3},
+		{At: 8 * simclock.Time(simclock.Hour), Op: OpNodeUp, NodeID: 3},
+		{At: 10 * simclock.Time(simclock.Hour), Op: OpReclaimSpot, Fraction: 0.5},
+	}
+	run := func(streamed bool) string {
+		cl := cluster.NewHomogeneous("A100", 8, 8)
+		log := &EventLog{}
+		cfg := DefaultSimConfig(cl, &firstFit{preempt: true})
+		cfg.Observers = []Observer{log}
+		cfg.Scenario = scenario
+		tasks := replayTrace(7)
+		if streamed {
+			if _, err := RunSource(cfg, trace.SliceSource(tasks)); err != nil {
+				t.Fatalf("RunSource: %v", err)
+			}
+		} else {
+			Run(cfg, tasks)
+		}
+		return log.String()
+	}
+	if run(false) != run(true) {
+		t.Fatal("scenario replay must match the eager run byte-for-byte")
+	}
+}
+
+// TestRunSourceRejectsUnsorted: out-of-order submission times fail
+// loudly instead of silently warping the clock.
+func TestRunSourceRejectsUnsorted(t *testing.T) {
+	cl := cluster.NewHomogeneous("A100", 2, 8)
+	a := task.New(1, task.Spot, 1, 1, simclock.Hour)
+	a.Submit = 100
+	b := task.New(2, task.Spot, 1, 1, simclock.Hour)
+	b.Submit = 50
+	_, err := RunSource(DefaultSimConfig(cl, &firstFit{}), trace.SliceSource([]*task.Task{a, b}))
+	if err == nil || !strings.Contains(err.Error(), "submission order") {
+		t.Fatalf("want submission-order error, got %v", err)
+	}
+}
+
+// TestRunFederationSourceMatchesRunFederation: the lazily-fed
+// federated loop produces the same result as the preloaded one.
+func TestRunFederationSourceMatchesRunFederation(t *testing.T) {
+	build := func() FedConfig {
+		mk := func(name string) FedMember {
+			cl := cluster.NewHomogeneous("A100", 8, 8)
+			return FedMember{Name: name, Cfg: DefaultSimConfig(cl, &firstFit{preempt: true})}
+		}
+		return FedConfig{
+			Members: []FedMember{mk("west"), mk("east")},
+			Spill:   SpillLeastLoaded{},
+		}
+	}
+	cfgA, cfgB := build(), build()
+	logA, logB := &EventLog{}, &EventLog{}
+	cfgA.Observers = []Observer{logA}
+	cfgB.Observers = []Observer{logB}
+
+	eager := RunFederation(cfgA, replayTrace(13))
+	streamed, err := RunFederationSource(cfgB, trace.SliceSource(replayTrace(13)))
+	if err != nil {
+		t.Fatalf("RunFederationSource: %v", err)
+	}
+	if logA.String() != logB.String() {
+		t.Fatal("federated event logs must match between eager and streamed runs")
+	}
+	if eager.GoodputGPUSeconds != streamed.GoodputGPUSeconds ||
+		eager.Migrations != streamed.Migrations ||
+		eager.Unfinished != streamed.Unfinished {
+		t.Fatalf("federated metrics differ:\n eager    %+v\n streamed %+v", eager, streamed)
+	}
+}

@@ -216,16 +216,19 @@ func NewSimulator(cfg SimConfig, tasks []*task.Task) *Simulator {
 		s.orgDemand[org] = append([]float64(nil), hist...)
 	}
 	s.hasObs = len(cfg.Observers) > 0
+	// Arrivals use the queue's front class so a mutation at time t
+	// always applies after arrivals at t — even for arrivals Injected
+	// mid-run by a federation router or the streaming replay loop,
+	// which therefore tie-break exactly like a preloaded trace.
 	for _, tk := range tasks {
-		s.queue.Push(tk.Submit, arrivalEvent{tk: tk})
+		s.queue.PushFront(tk.Submit, arrivalEvent{tk: tk})
 	}
-	// Scenario actions join the same queue; pushing them after the
-	// arrivals means a mutation at time t applies after arrivals at
-	// t, deterministically. Against finish events the tie-break goes
-	// the other way: finishes are pushed mid-run with higher
-	// sequence numbers, so a node failure at the exact instant a
-	// hosted task would complete kills the task first (failure wins
-	// ties, as it would on real hardware).
+	// Scenario actions join the same queue in the normal class.
+	// Against finish events the tie-break goes the other way:
+	// finishes are pushed mid-run with higher sequence numbers, so a
+	// node failure at the exact instant a hosted task would complete
+	// kills the task first (failure wins ties, as it would on real
+	// hardware).
 	actions := SortActions(append([]ScenarioAction(nil), cfg.Scenario...))
 	for _, a := range actions {
 		s.queue.Push(a.At, scenarioEvent{action: a})
@@ -303,7 +306,7 @@ func (s *Simulator) Inject(tk *task.Task, at simclock.Time) {
 		s.tasks = append(s.tasks, tk)
 	}
 	delete(s.migrated, tk.ID)
-	s.queue.Push(at, arrivalEvent{tk: tk})
+	s.queue.PushFront(at, arrivalEvent{tk: tk})
 	if !s.quotaInit {
 		// First task ever seen: establish the initial quota before
 		// the first pass, as Run does for pre-loaded traces.

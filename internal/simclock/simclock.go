@@ -56,12 +56,15 @@ type Event struct {
 	At    Time
 	Value any
 
-	seq uint64
-	idx int
+	class uint8
+	seq   uint64
+	idx   int
 }
 
-// Queue is a min-heap of events ordered by (At, insertion sequence).
-// The zero value is an empty queue ready to use.
+// Queue is a min-heap of events ordered by (At, class, insertion
+// sequence): PushFront events sort before Push events at the same
+// instant regardless of insertion order. The zero value is an empty
+// queue ready to use.
 type Queue struct {
 	h   eventHeap
 	seq uint64
@@ -72,7 +75,21 @@ func (q *Queue) Len() int { return len(q.h) }
 
 // Push schedules value for delivery at time at.
 func (q *Queue) Push(at Time, value any) *Event {
-	e := &Event{At: at, Value: value, seq: q.seq}
+	return q.push(at, 1, value)
+}
+
+// PushFront schedules value for delivery at time at, ahead of every
+// same-instant Push event no matter when either was inserted. The
+// simulator uses it for task arrivals, so a trace streamed in mid-run
+// (Inject, replay) observes the same arrivals-first tie-break as a
+// trace preloaded at construction. PushFront events at the same
+// instant keep insertion order among themselves.
+func (q *Queue) PushFront(at Time, value any) *Event {
+	return q.push(at, 0, value)
+}
+
+func (q *Queue) push(at Time, class uint8, value any) *Event {
+	e := &Event{At: at, Value: value, class: class, seq: q.seq}
 	q.seq++
 	heap.Push(&q.h, e)
 	return e
@@ -113,6 +130,9 @@ func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].At != h[j].At {
 		return h[i].At < h[j].At
+	}
+	if h[i].class != h[j].class {
+		return h[i].class < h[j].class
 	}
 	return h[i].seq < h[j].seq
 }

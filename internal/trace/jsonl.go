@@ -1,0 +1,152 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/task"
+)
+
+// jsonTask is the JSONL wire shape: one task per line, field names
+// matching the CSV interchange columns. GPUsPerPod rides as a float64
+// (partial cards), times as integer simulated seconds.
+type jsonTask struct {
+	ID          int     `json:"id"`
+	Org         string  `json:"org,omitempty"`
+	GPUModel    string  `json:"gpu_model,omitempty"`
+	Type        string  `json:"type"`
+	Pods        int     `json:"pods"`
+	GPUsPerPod  float64 `json:"gpus_per_pod"`
+	Gang        bool    `json:"gang,omitempty"`
+	DurationS   int64   `json:"duration_s"`
+	CheckpointS int64   `json:"checkpoint_s,omitempty"`
+	SubmitS     int64   `json:"submit_s"`
+}
+
+// NewJSONLEncoder returns an Encoder producing newline-delimited JSON
+// (one task object per line), the self-describing sibling of the CSV
+// format for pipelines that prefer jq over awk.
+func NewJSONLEncoder(w io.Writer) Encoder {
+	return &jsonlEncoder{bw: bufio.NewWriter(w)}
+}
+
+type jsonlEncoder struct {
+	bw *bufio.Writer
+}
+
+func (e *jsonlEncoder) Encode(tk *task.Task) error {
+	typ := "spot"
+	if tk.Type == task.HP {
+		typ = "hp"
+	}
+	rec := jsonTask{
+		ID: tk.ID, Org: tk.Org, GPUModel: tk.GPUModel, Type: typ,
+		Pods: tk.Pods, GPUsPerPod: tk.GPUsPerPod, Gang: tk.Gang,
+		DurationS:   int64(tk.Duration),
+		CheckpointS: int64(tk.CheckpointEvery),
+		SubmitS:     int64(tk.Submit),
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("trace: marshal task %d: %w", tk.ID, err)
+	}
+	if _, err := e.bw.Write(data); err != nil {
+		return fmt.Errorf("trace: write task %d: %w", tk.ID, err)
+	}
+	return e.bw.WriteByte('\n')
+}
+
+func (e *jsonlEncoder) Flush() error { return e.bw.Flush() }
+
+// WriteJSONL serializes tasks as newline-delimited JSON in slice
+// order.
+func WriteJSONL(w io.Writer, tasks []*task.Task) error {
+	enc := NewJSONLEncoder(w)
+	for _, tk := range tasks {
+		if err := enc.Encode(tk); err != nil {
+			return err
+		}
+	}
+	return enc.Flush()
+}
+
+// maxJSONLLine bounds one JSONL record; a line this long is corrupt
+// input, not a big task.
+const maxJSONLLine = 1 << 20
+
+// NewJSONLSource returns a streaming decoder for newline-delimited
+// JSON traces: one task object per line, blank lines skipped, decoded
+// in constant memory. Decode errors carry the 1-based line number and
+// (for bad field values) the field name.
+func NewJSONLSource(r io.Reader) Source {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), maxJSONLLine)
+	return &jsonlSource{sc: sc}
+}
+
+type jsonlSource struct {
+	sc   *bufio.Scanner
+	line int
+	err  error
+}
+
+func (s *jsonlSource) Next() (*task.Task, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for s.sc.Scan() {
+		s.line++
+		raw := bytes.TrimSpace(s.sc.Bytes())
+		if len(raw) == 0 {
+			continue
+		}
+		var rec jsonTask
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			s.err = fmt.Errorf("trace: line %d: %w", s.line, err)
+			return nil, s.err
+		}
+		tk, err := rec.toTask()
+		if err != nil {
+			s.err = fmt.Errorf("trace: line %d: %w", s.line, err)
+			return nil, s.err
+		}
+		return tk, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		s.err = fmt.Errorf("trace: line %d: %w", s.line+1, err)
+		return nil, s.err
+	}
+	s.err = io.EOF
+	return nil, io.EOF
+}
+
+func (s *jsonlSource) Close() error { return nil }
+
+func (r jsonTask) toTask() (*task.Task, error) {
+	typ := task.Spot
+	switch r.Type {
+	case "hp":
+		typ = task.HP
+	case "spot", "":
+	default:
+		return nil, columnError("type", fmt.Errorf("unknown type %q", r.Type))
+	}
+	if math.IsNaN(r.GPUsPerPod) || math.IsInf(r.GPUsPerPod, 0) {
+		return nil, columnError("gpus_per_pod", fmt.Errorf("non-finite value %v", r.GPUsPerPod))
+	}
+	tk := task.New(r.ID, typ, r.Pods, r.GPUsPerPod, simclock.Duration(r.DurationS))
+	tk.Org = r.Org
+	tk.GPUModel = r.GPUModel
+	tk.Gang = r.Gang
+	tk.CheckpointEvery = simclock.Duration(r.CheckpointS)
+	tk.Submit = simclock.Time(r.SubmitS)
+	if err := CheckTask(tk); err != nil {
+		return nil, err
+	}
+	return tk, nil
+}

@@ -7,6 +7,8 @@
 package trace
 
 import (
+	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"sort"
@@ -322,7 +324,20 @@ func poisson(rng *rand.Rand, lambda float64) int {
 	}
 }
 
-// Stats summarizes a generated trace for validation against Table 3.
+// ParseRegime resolves a regime name as accepted by the CLIs ("2024"
+// or "2020"), rejecting anything else so a typo cannot silently fall
+// back to the default era.
+func ParseRegime(s string) (Regime, error) {
+	switch s {
+	case "2024":
+		return Regime2024, nil
+	case "2020":
+		return Regime2020, nil
+	}
+	return Regime2024, fmt.Errorf("trace: unknown regime %q (valid: 2024, 2020)", s)
+}
+
+// Stats summarizes a trace for validation against Table 3.
 type Stats struct {
 	HPCount, SpotCount int
 	HPFrac             float64
@@ -332,45 +347,105 @@ type Stats struct {
 	// "<1") to the fraction of tasks of that class.
 	SizeHistHP   map[string]float64
 	SizeHistSpot map[string]float64
+	// Span is the submission window [FirstSubmit, LastSubmit] and
+	// TotalGPUSeconds the offered work Σ pods×gpus×duration.
+	FirstSubmit, LastSubmit simclock.Time
+	TotalGPUSeconds         float64
 }
 
-// Summarize computes trace statistics.
-func Summarize(tasks []*task.Task) Stats {
-	s := Stats{SizeHistHP: map[string]float64{}, SizeHistSpot: map[string]float64{}}
-	gangHP, gangSpot := 0, 0
-	for _, tk := range tasks {
-		key := sizeKey(tk.GPUsPerPod)
-		if tk.Type == task.HP {
-			s.HPCount++
-			s.SizeHistHP[key]++
-			if tk.Gang {
-				gangHP++
-			}
-		} else {
-			s.SpotCount++
-			s.SizeHistSpot[key]++
-			if tk.Gang {
-				gangSpot++
-			}
+// StatsAccumulator computes trace statistics in one streaming pass
+// with O(1) memory (a fixed handful of counters and the small
+// size-bucket histograms), so summarizing a trace never requires
+// holding it.
+type StatsAccumulator struct {
+	hp, spot         int
+	gangHP, gangSpot int
+	histHP, histSpot map[string]int
+	first, last      simclock.Time
+	gpuSeconds       float64
+}
+
+// Add folds one task into the running statistics.
+func (a *StatsAccumulator) Add(tk *task.Task) {
+	if a.histHP == nil {
+		a.histHP, a.histSpot = map[string]int{}, map[string]int{}
+		a.first, a.last = tk.Submit, tk.Submit
+	}
+	if tk.Submit < a.first {
+		a.first = tk.Submit
+	}
+	if tk.Submit > a.last {
+		a.last = tk.Submit
+	}
+	a.gpuSeconds += tk.TotalGPUs() * float64(tk.Duration)
+	key := sizeKey(tk.GPUsPerPod)
+	if tk.Type == task.HP {
+		a.hp++
+		a.histHP[key]++
+		if tk.Gang {
+			a.gangHP++
+		}
+	} else {
+		a.spot++
+		a.histSpot[key]++
+		if tk.Gang {
+			a.gangSpot++
 		}
 	}
-	total := s.HPCount + s.SpotCount
-	if total > 0 {
-		s.HPFrac = float64(s.HPCount) / float64(total)
+}
+
+// Stats closes the pass and returns the accumulated statistics. The
+// accumulator stays usable; later Adds extend the same tally.
+func (a *StatsAccumulator) Stats() Stats {
+	s := Stats{
+		HPCount: a.hp, SpotCount: a.spot,
+		SizeHistHP: map[string]float64{}, SizeHistSpot: map[string]float64{},
+		FirstSubmit: a.first, LastSubmit: a.last,
+		TotalGPUSeconds: a.gpuSeconds,
 	}
-	if s.HPCount > 0 {
-		s.GangFracHP = float64(gangHP) / float64(s.HPCount)
-		for k := range s.SizeHistHP {
-			s.SizeHistHP[k] /= float64(s.HPCount)
+	if total := a.hp + a.spot; total > 0 {
+		s.HPFrac = float64(a.hp) / float64(total)
+	}
+	if a.hp > 0 {
+		s.GangFracHP = float64(a.gangHP) / float64(a.hp)
+		for k, n := range a.histHP {
+			s.SizeHistHP[k] = float64(n) / float64(a.hp)
 		}
 	}
-	if s.SpotCount > 0 {
-		s.GangFracSpot = float64(gangSpot) / float64(s.SpotCount)
-		for k := range s.SizeHistSpot {
-			s.SizeHistSpot[k] /= float64(s.SpotCount)
+	if a.spot > 0 {
+		s.GangFracSpot = float64(a.gangSpot) / float64(a.spot)
+		for k, n := range a.histSpot {
+			s.SizeHistSpot[k] = float64(n) / float64(a.spot)
 		}
 	}
 	return s
+}
+
+// Summarize computes trace statistics over an in-memory trace.
+func Summarize(tasks []*task.Task) Stats {
+	var acc StatsAccumulator
+	for _, tk := range tasks {
+		acc.Add(tk)
+	}
+	return acc.Stats()
+}
+
+// SummarizeSource computes trace statistics in one streaming pass
+// over a Source, closing it afterwards. Memory stays O(1) in the
+// trace length.
+func SummarizeSource(src Source) (Stats, error) {
+	defer src.Close()
+	var acc StatsAccumulator
+	for {
+		tk, err := src.Next()
+		if err == io.EOF {
+			return acc.Stats(), nil
+		}
+		if err != nil {
+			return Stats{}, err
+		}
+		acc.Add(tk)
+	}
 }
 
 func sizeKey(g float64) string {
