@@ -35,7 +35,9 @@ type BatchSpec struct {
 	Setup func() (*Engine, []*Task)
 	// SetupFederation builds a federated run instead; exactly one of
 	// Setup and SetupFederation must be set. Like Setup it must build
-	// all state — members, engines, trace — from scratch.
+	// all state — members, engines, trace — from scratch. A federated
+	// replay spec attaches a source (WithFederationTraceSource) and
+	// returns a nil task slice.
 	SetupFederation func() (*Federation, []*Task)
 }
 
@@ -45,6 +47,12 @@ type BatchResult struct {
 	Result *Result
 	// Fed holds the result of a SetupFederation run (Result is nil).
 	Fed *FederationResult
+	// Report holds the run's collected report when the spec's engine
+	// registered collectors (WithCollectors); FedReport likewise for
+	// federations built with WithFederationCollectors. Reports are
+	// byte-identical across worker counts for deterministic specs.
+	Report    *Report
+	FedReport *FederationReport
 	// Err is non-nil when setup was missing or ambiguous, or the run
 	// panicked.
 	Err error
@@ -116,7 +124,18 @@ func runOne(spec BatchSpec) (br BatchResult) {
 		br.Err = fmt.Errorf("gfs: batch run %q sets both Setup and SetupFederation", spec.Name)
 	case spec.SetupFederation != nil:
 		fed, tasks := spec.SetupFederation()
-		br.Fed = fed.Run(tasks)
+		switch {
+		case tasks == nil && fed.TraceSource() != nil:
+			br.Fed, br.Err = fed.RunTrace(fed.TraceSource())
+		case tasks != nil && fed.TraceSource() != nil:
+			fed.TraceSource().Close()
+			br.Err = fmt.Errorf("gfs: batch run %q supplies both a trace source and a task slice", spec.Name)
+		default:
+			br.Fed = fed.Run(tasks)
+		}
+		if br.Err == nil && fed.aggCollectors != nil {
+			br.FedReport = fed.Report()
+		}
 	default:
 		eng, tasks := spec.Setup()
 		switch {
@@ -129,6 +148,9 @@ func runOne(spec BatchSpec) (br BatchResult) {
 			br.Err = fmt.Errorf("gfs: batch run %q supplies both a trace source and a task slice", spec.Name)
 		default:
 			br.Result = eng.Run(tasks)
+		}
+		if br.Err == nil && len(eng.Collectors()) > 0 {
+			br.Report = eng.Report()
 		}
 	}
 	return br

@@ -130,6 +130,33 @@ func BenchmarkTraceIngest(b *testing.B) {
 	}
 }
 
+// BenchmarkReport measures the collected-run path: the full default
+// collector set consuming the event spine, report assembly, and the
+// JSONL export, over the standard one-day trace. Its allocs/op are
+// recorded (and gated alongside ns/op by internal/ci/benchgate), and
+// BenchmarkSim remains the zero-collector baseline the event spine
+// must keep nil-cost.
+func BenchmarkReport(b *testing.B) {
+	scale := benchFigScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tasks := scale.Trace(2)
+		eng := gfs.NewEngine(gfs.NewCluster("A100", scale.Nodes, scale.GPUsPerNode),
+			gfs.WithScheduler(gfs.NewYARNCS()))
+		var buf bytes.Buffer
+		b.StartTimer()
+		rep := eng.RunReport(tasks)
+		if err := rep.WriteJSONL(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.ReportMetric(float64(buf.Len()), "reportBytes")
+			b.ReportMetric(100*rep.Summary.AllocationRate, "allocPct")
+		}
+	}
+}
+
 // BenchmarkSimObserver measures the same run with a counting observer
 // attached, for comparison against BenchmarkSim.
 func BenchmarkSimObserver(b *testing.B) {

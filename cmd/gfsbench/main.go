@@ -9,12 +9,14 @@
 //
 // Experiments: table1, table5, table6, table7, table8, table9,
 // table10, fig2, fig3, fig4, fig5, fig8, fig9, fig10, storm,
-// federation, replay, benefit, all. Scales: small (128 GPUs), medium
-// (512), paper (2,296). The replay experiment compares schedulers on
-// an ingested trace: -trace names the file (any format gfstrace
-// reads); without it the experiment synthesizes a workload and
-// round-trips it through the gzipped-CSV interchange format in
-// memory.
+// federation, replay, report, benefit, all. Scales: small (128
+// GPUs), medium (512), paper (2,296). The replay experiment compares
+// schedulers on an ingested trace: -trace names the file (any format
+// gfstrace reads); without it the experiment synthesizes a workload
+// and round-trips it through the gzipped-CSV interchange format in
+// memory. The report experiment collects the full metrics Report for
+// the GFS stack, pricing its allocation gain over the pre-GFS
+// baseline (Fig. 9's accounting).
 package main
 
 import (
@@ -34,7 +36,7 @@ import (
 var experimentIDs = []string{
 	"table1", "fig2", "fig3", "fig4", "fig5", "fig8",
 	"fig9", "table5", "table6", "fig10", "table7",
-	"table8", "table9", "table10", "storm", "federation", "replay", "benefit",
+	"table8", "table9", "table10", "storm", "federation", "replay", "report", "benefit",
 }
 
 func main() {
@@ -151,6 +153,13 @@ func run(id string, scale experiments.SimScale, fc experiments.FcScale, tracePat
 		}
 		fmt.Printf("== Replay: schedulers on an ingested trace ==\n%s",
 			experiments.FormatReplay(rep))
+	case "report":
+		d, err := experiments.ReportExperiment(scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("== Report: collected metrics, GFS vs pre-GFS baseline ==\n%s",
+			experiments.FormatReport(d))
 	case "fig2":
 		d := experiments.Figure2(scale)
 		fmt.Println("== Figure 2: request-size CDFs ==")

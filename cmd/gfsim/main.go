@@ -9,6 +9,7 @@
 //	gfsim -scheduler gfs -scenario diurnal-storm
 //	gfsim -trace trace.csv.gz -scheduler yarn
 //	gfsim -federation -scenario zone-cascade -route forecast-aware
+//	gfsim -scheduler gfs -report jsonl
 //
 // Schedulers: gfs, gfs-e, gfs-d, gfs-s, gfs-p, gfs-sp, yarn, chronus,
 // lyra, fgd, firstfit. The spot guarantee window is set with -hours
@@ -25,6 +26,14 @@
 // -federation; -days and -spotscale describe generated workloads
 // only, so they are rejected alongside it.
 //
+// -report attaches the full default collector set to the run and
+// emits the collected gfs.Report after the usual metrics: "text" is
+// the human snapshot, "jsonl" the streaming record-per-line export,
+// "csv" the per-organization table, "prom" a Prometheus-style text
+// snapshot. It composes with every scheduler, -trace, -scenario and
+// -federation (which emits the merged per-member + aggregate
+// report).
+//
 // -federation runs a two-member federation instead of one cluster:
 // "west" (hit by -scenario, when given) and "east" (calm), each a
 // -nodes cluster running the reactive GFS stack, with spillover
@@ -35,6 +44,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	gfs "github.com/sjtucitlab/gfs"
@@ -56,7 +66,16 @@ func main() {
 	federation := flag.Bool("federation", false, "run a two-member federation (west = -scenario, east calm)")
 	route := flag.String("route", "least-loaded", "federation route policy (least-loaded, cheapest-spot, forecast-aware, round-robin)")
 	tracePath := flag.String("trace", "", "replay this trace file (streamed; gzip and format auto-detected) instead of generating a workload")
+	report := flag.String("report", "", "emit the collected run report in this format (text, jsonl, csv, prom)")
 	flag.Parse()
+
+	if *report != "" {
+		switch *report {
+		case "text", "jsonl", "csv", "prom":
+		default:
+			fail(fmt.Errorf("unknown report format %q (valid: text, jsonl, csv, prom)", *report))
+		}
+	}
 
 	scale := experiments.SmallScale()
 	scale.Nodes = *nodes
@@ -80,7 +99,7 @@ func main() {
 				fail(fmt.Errorf("-%s does not apply to -federation (members run the reactive GFS stack)", f.Name))
 			}
 		})
-		runFederation(scale, *spotScale, *scenario, *route, *events, *tracePath)
+		runFederation(scale, *spotScale, *scenario, *route, *events, *tracePath, *report)
 		return
 	}
 
@@ -94,6 +113,11 @@ func main() {
 	}
 
 	var extra []gfs.Option
+	var collectors []gfs.Collector
+	if *report != "" {
+		collectors = gfs.DefaultCollectors()
+		extra = append(extra, gfs.WithCollectors(collectors...))
+	}
 	if *scenario != "" {
 		sc, err := scale.NamedScenario(*scenario)
 		if err != nil {
@@ -165,6 +189,36 @@ func main() {
 		fail(err)
 	}
 	printResult(res)
+	if len(collectors) > 0 {
+		emitReport(gfs.AssembleReport(collectors...), *report)
+	}
+}
+
+// reportWriter is what both gfs.Report and gfs.FederationReport
+// export; emitReport drives either.
+type reportWriter interface {
+	WriteJSONL(io.Writer) error
+	WriteCSV(io.Writer) error
+	WritePrometheus(io.Writer) error
+}
+
+// emitReport writes a collected report (single or federation) to
+// stdout in the chosen format.
+func emitReport(rep reportWriter, format string) {
+	var err error
+	switch format {
+	case "text":
+		fmt.Print(rep)
+	case "jsonl":
+		err = rep.WriteJSONL(os.Stdout)
+	case "csv":
+		err = rep.WriteCSV(os.Stdout)
+	case "prom":
+		err = rep.WritePrometheus(os.Stdout)
+	}
+	if err != nil {
+		fail(err)
+	}
 }
 
 // runSched runs a baseline over the generated trace or, with a trace
@@ -182,7 +236,7 @@ func runSched(scale experiments.SimScale, sc sched.Scheduler, quota sched.QuotaP
 // scenario (when given) hits west only. With a trace path the
 // federation replays the streamed file instead of a generated
 // workload.
-func runFederation(scale experiments.SimScale, spotScale float64, scenario, route string, events int, tracePath string) {
+func runFederation(scale experiments.SimScale, spotScale float64, scenario, route string, events int, tracePath, report string) {
 	policies := map[string]func() gfs.RoutePolicy{
 		"least-loaded":   gfs.RouteLeastLoaded,
 		"cheapest-spot":  gfs.RouteCheapestSpot,
@@ -208,6 +262,9 @@ func runFederation(scale experiments.SimScale, spotScale float64, scenario, rout
 		{Name: "east", Engine: gfs.NewEngine(scale.NewCluster())},
 	}
 	fedOpts := []gfs.FederationOption{gfs.WithRoute(mk())}
+	if report != "" {
+		fedOpts = append(fedOpts, gfs.WithFederationCollectors(nil))
+	}
 	if events > 0 {
 		remaining := events
 		fedOpts = append(fedOpts, gfs.WithFederationObserver(gfs.ObserverFunc(func(e gfs.Event) {
@@ -246,6 +303,9 @@ func runFederation(scale experiments.SimScale, spotScale float64, scenario, rout
 	}
 	fmt.Printf("\nfederation total: goodput %.1f GPU-h, %d migrations, %d saturations, %d unfinished\n",
 		res.GoodputGPUSeconds/3600, res.Migrations, res.Saturations, res.Unfinished)
+	if report != "" {
+		emitReport(fed.Report(), report)
+	}
 }
 
 func trainFor(scale experiments.SimScale, variant experiments.GFSVariant) (*gde.Estimator, error) {

@@ -22,10 +22,12 @@
 // -ratescale, -window, -sort) and re-encodes as -to (csv or jsonl,
 // gzipped when -out ends in .gz). validate checks every record and
 // the submission-time ordering replay requires. stats streams the
-// Table 3 summary without materializing the trace.
+// Table 3 summary without materializing the trace, as text or (with
+// -json) as one JSON object for report tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -241,11 +243,13 @@ func runValidate(args []string) {
 	fmt.Printf("ok: %d tasks, sorted by submission, all fields valid\n", n)
 }
 
-// runStats streams the Table 3 summary.
+// runStats streams the Table 3 summary, as text or (with -json) as
+// one machine-readable JSON object for report tooling.
 func runStats(args []string) {
 	fs := flag.NewFlagSet("gfstrace stats", flag.ExitOnError)
 	in := fs.String("in", "", "input path (default stdin; gzip auto-detected)")
 	from := fs.String("from", "auto", "input format: auto | csv | jsonl | alibaba | philly")
+	asJSON := fs.Bool("json", false, "emit the summary as one JSON object instead of text")
 	fs.Parse(args)
 	rejectArgs(fs)
 
@@ -255,6 +259,13 @@ func runStats(args []string) {
 	reportSkipped(src)
 	if err != nil {
 		fail(err)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(s); err != nil {
+			fail(err)
+		}
+		return
 	}
 	fmt.Printf("tasks: %d spanning %.1f h, %.0f GPU-h offered\n",
 		s.HPCount+s.SpotCount, s.LastSubmit.Sub(s.FirstSubmit).Hours(), s.TotalGPUSeconds/3600)

@@ -1,0 +1,714 @@
+package gfs
+
+import (
+	"math"
+	"sort"
+
+	"github.com/sjtucitlab/gfs/internal/pricing"
+	"github.com/sjtucitlab/gfs/internal/stats"
+)
+
+// This file implements the collector layer: composable metric
+// consumers on the typed event spine. A Collector sees every event of
+// a run (including the QuotaUpdated quota ticks and AllocSampled
+// allocation ticks) and contributes one section to the run's Report.
+// The built-ins cover the paper's evaluation surface — per-org task
+// metrics with JCT/queue percentiles, eviction breakdown by cause,
+// quota-vs-usage with the η trajectory, the allocation timeline and a
+// pricing-backed cost ledger — and DefaultCollectors bundles them.
+// With no collectors registered the engine's hot loop emits nothing
+// and pays nothing.
+
+// PoolInfo describes one GPU pool of the cluster a collector is
+// attached to.
+type PoolInfo struct {
+	// Model is the pool's GPU model.
+	Model string
+	// GPUs is the pool's schedulable capacity at run start.
+	GPUs float64
+}
+
+// RunMeta describes the run a collector is attached to: the
+// scheduler's name and the cluster shape at run start. Engines build
+// it automatically; hand-built metas matter only for driving
+// collectors over a recorded event stream.
+type RunMeta struct {
+	// Scheduler names the placement scheduler.
+	Scheduler string
+	// TotalGPUs is the cluster's schedulable capacity at run start.
+	TotalGPUs float64
+	// Pools lists the per-model capacity split, sorted by model.
+	Pools []PoolInfo
+}
+
+// Collector consumes a run's typed event stream and contributes one
+// section to its Report. The lifecycle is Begin (once, before the
+// run), OnEvent (for every event, synchronously from the simulation
+// loop — so heavy work belongs in Finish), then Finish (to write the
+// collected section into the report). Collectors are single-run and
+// must not be shared between concurrent runs; RunBatch builds a
+// fresh set per spec. Custom collectors attach their section with
+// Report.Attach.
+type Collector interface {
+	// Name identifies the collector (custom sections use it as the
+	// section name).
+	Name() string
+	// Begin resets the collector for a run.
+	Begin(meta RunMeta)
+	// OnEvent consumes one event (Collector satisfies Observer).
+	OnEvent(Event)
+	// Finish writes the collected section into the report. It must
+	// not mutate collector state, so a report can be assembled more
+	// than once.
+	Finish(rep *Report)
+}
+
+// DefaultCollectors returns a fresh instance of every built-in
+// collector: summary, per-org metrics, eviction breakdown, quota
+// trajectory, allocation timeline and the cost ledger (at default
+// pricing). This is the set Engine.RunReport attaches when none were
+// registered.
+func DefaultCollectors() []Collector {
+	return []Collector{
+		NewSummaryCollector(),
+		NewOrgCollector(),
+		NewEvictionCollector(),
+		NewQuotaCollector(),
+		NewAllocationCollector(),
+		NewCostCollector(CostConfig{}),
+	}
+}
+
+// AssembleReport builds a Report directly from collectors, for
+// callers that attached collectors (WithCollectors) to a run whose
+// engine they do not hold — e.g. a CLI threading options through an
+// experiment harness. Engine.Report is the usual path.
+func AssembleReport(cs ...Collector) *Report {
+	rep := &Report{}
+	for _, c := range cs {
+		c.Finish(rep)
+	}
+	if rep.Summary != nil {
+		rep.Scheduler = rep.Summary.Scheduler
+	}
+	return rep
+}
+
+// taskRecord is the per-task scratch state the task-tracking
+// collectors accumulate from the event stream. Records are kept in
+// first-arrival order so float accumulations reproduce the simulator
+// core's own summaries bit-for-bit.
+type taskRecord struct {
+	org         string
+	typ         TaskType
+	gpus        float64
+	submit      Time
+	queuedSince Time
+	lastStart   Time
+	queue       Duration
+	jct         Duration
+	finished    bool
+	evictions   int
+	causes      EvictionCounts
+	runs        int
+	gpuSeconds  float64
+}
+
+// taskTally tracks every task seen on the spine, by ID, in
+// first-arrival order. It is the shared engine of the summary and
+// org collectors; each collector owns its own tally so collectors
+// stay independently registrable.
+type taskTally struct {
+	byID  map[int]*taskRecord
+	order []*taskRecord
+	end   Time
+}
+
+func (t *taskTally) reset() {
+	t.byID = make(map[int]*taskRecord)
+	t.order = nil
+	t.end = 0
+}
+
+// observe folds one event into the tally.
+func (t *taskTally) observe(e Event) {
+	if e.At > t.end {
+		t.end = e.At
+	}
+	if e.Task == nil {
+		return
+	}
+	switch e.Kind {
+	case TaskArrived:
+		r := t.byID[e.Task.ID]
+		if r == nil {
+			r = &taskRecord{
+				org:    e.Task.Org,
+				typ:    e.Task.Type,
+				gpus:   e.Task.TotalGPUs(),
+				submit: e.Task.Submit,
+			}
+			t.byID[e.Task.ID] = r
+			t.order = append(t.order, r)
+		}
+		// A re-arrival (a task migrating into this member) reopens
+		// the queue clock here, matching the task's own bookkeeping.
+		r.queuedSince = e.At
+	case TaskStarted:
+		if r := t.byID[e.Task.ID]; r != nil {
+			// StartedAt includes the preemption grace period, which
+			// the task's queue accounting charges to the queue.
+			r.queue += e.Task.StartedAt.Sub(r.queuedSince)
+			r.lastStart = e.Task.StartedAt
+		}
+	case TaskEvicted:
+		if r := t.byID[e.Task.ID]; r != nil {
+			r.evictions++
+			r.causes.add(e.Cause)
+			r.runs++
+			r.gpuSeconds += float64(e.At.Sub(r.lastStart)) * r.gpus
+			r.queuedSince = e.At
+		}
+	case TaskFinished:
+		if r := t.byID[e.Task.ID]; r != nil {
+			r.runs++
+			r.finished = true
+			r.jct = e.At.Sub(r.submit)
+			r.gpuSeconds += float64(e.At.Sub(r.lastStart)) * r.gpus
+		}
+	}
+}
+
+// classMetrics summarizes the records of one task class, in record
+// (first-arrival) order.
+func classMetrics(records []*taskRecord, typ TaskType) ClassMetrics {
+	var m ClassMetrics
+	var jcts, queues []float64
+	for _, r := range records {
+		if r.typ != typ {
+			continue
+		}
+		m.Count++
+		m.Evictions += r.evictions
+		m.Runs += r.runs
+		m.GPUSeconds += r.gpuSeconds
+		if r.finished {
+			m.Finished++
+			jcts = append(jcts, r.jct.Seconds())
+		}
+		queues = append(queues, r.queue.Seconds())
+	}
+	m.Unfinished = m.Count - m.Finished
+	m.JCTMean = stats.Mean(jcts)
+	jq := stats.Quantiles(jcts, 0.5, 0.95, 0.99)
+	m.JCTP50, m.JCTP95, m.JCTP99 = jq[0], jq[1], jq[2]
+	m.QueueMean = stats.Mean(queues)
+	qq := stats.Quantiles(queues, 0.5, 0.95, 0.99)
+	m.QueueP50, m.QueueP95, m.QueueP99 = qq[0], qq[1], qq[2]
+	if len(queues) > 0 {
+		m.QueueMax = stats.Max(queues)
+	}
+	if m.Runs > 0 {
+		m.EvictionRate = float64(m.Evictions) / float64(m.Runs)
+	}
+	return m
+}
+
+// allocTally integrates AllocSampled ticks into time-averaged
+// allocation rates, one tracker per federation member (a single-
+// engine stream uses the "" member).
+type allocTally struct {
+	initial  float64
+	trackers map[string]*stats.AllocationTracker
+	members  []string
+}
+
+func (a *allocTally) reset(capacity float64) {
+	a.initial = capacity
+	a.trackers = make(map[string]*stats.AllocationTracker)
+	a.members = nil
+}
+
+func (a *allocTally) observe(e Event) {
+	if e.Kind != AllocSampled {
+		return
+	}
+	tr := a.trackers[e.Member]
+	if tr == nil {
+		tr = stats.NewAllocationTracker(a.initial)
+		a.trackers[e.Member] = tr
+		a.members = append(a.members, e.Member)
+	}
+	if e.Capacity != tr.Capacity() {
+		tr.SetCapacity(e.At, e.Capacity)
+	}
+	tr.Observe(e.At, e.Used)
+}
+
+// rate combines the member integrals into one allocation rate.
+func (a *allocTally) rate() float64 {
+	var used, cap float64
+	for _, m := range a.members {
+		u, c := a.trackers[m].Integrals()
+		used += u
+		cap += c
+	}
+	if cap == 0 {
+		return 0
+	}
+	return used / cap
+}
+
+// SummaryCollector rebuilds the legacy Result scalars from the event
+// spine alone: task counts, JCT/queue statistics, eviction rates,
+// the time-averaged allocation rate, Eq. 17 waste and the final spot
+// quota. Report.Result reduces its section back to a Result; for any
+// deterministic run the two match field-for-field.
+type SummaryCollector struct {
+	meta  RunMeta
+	tasks taskTally
+	alloc allocTally
+	waste float64
+	quota QuotaValue
+}
+
+// NewSummaryCollector builds the collector behind Report.Summary.
+func NewSummaryCollector() *SummaryCollector { return &SummaryCollector{} }
+
+// Name implements Collector.
+func (c *SummaryCollector) Name() string { return "summary" }
+
+// Begin implements Collector.
+func (c *SummaryCollector) Begin(meta RunMeta) {
+	c.meta = meta
+	c.tasks.reset()
+	c.alloc.reset(meta.TotalGPUs)
+	c.waste = 0
+	c.quota = QuotaValue(math.Inf(1))
+}
+
+// OnEvent implements Collector.
+func (c *SummaryCollector) OnEvent(e Event) {
+	c.tasks.observe(e)
+	c.alloc.observe(e)
+	switch e.Kind {
+	case TaskEvicted:
+		c.waste += e.Waste
+	case QuotaUpdated:
+		c.quota = QuotaValue(e.Quota)
+	}
+}
+
+// Finish implements Collector.
+func (c *SummaryCollector) Finish(rep *Report) {
+	s := &Summary{
+		Scheduler:        c.meta.Scheduler,
+		End:              c.tasks.end,
+		HP:               classMetrics(c.tasks.order, HP),
+		Spot:             classMetrics(c.tasks.order, Spot),
+		AllocationRate:   c.alloc.rate(),
+		WastedGPUSeconds: c.waste,
+		FinalQuota:       c.quota,
+	}
+	rep.Summary = s
+	rep.Scheduler = c.meta.Scheduler
+	if s.End > rep.End {
+		rep.End = s.End
+	}
+}
+
+// OrgCollector breaks the run down by organization: per-org, per-
+// class task metrics with JCT and queue-wait percentiles, eviction
+// causes and GPU time — the per-org allocation and eviction
+// trajectories of the paper's §4.2 tables.
+type OrgCollector struct {
+	tasks taskTally
+}
+
+// NewOrgCollector builds the collector behind Report.Orgs.
+func NewOrgCollector() *OrgCollector { return &OrgCollector{} }
+
+// Name implements Collector.
+func (c *OrgCollector) Name() string { return "orgs" }
+
+// Begin implements Collector.
+func (c *OrgCollector) Begin(RunMeta) { c.tasks.reset() }
+
+// OnEvent implements Collector.
+func (c *OrgCollector) OnEvent(e Event) { c.tasks.observe(e) }
+
+// Finish implements Collector.
+func (c *OrgCollector) Finish(rep *Report) {
+	byOrg := make(map[string][]*taskRecord)
+	var orgs []string
+	for _, r := range c.tasks.order {
+		if _, ok := byOrg[r.org]; !ok {
+			orgs = append(orgs, r.org)
+		}
+		byOrg[r.org] = append(byOrg[r.org], r)
+	}
+	sort.Strings(orgs)
+	out := make([]OrgMetrics, 0, len(orgs))
+	for _, org := range orgs {
+		records := byOrg[org]
+		m := OrgMetrics{
+			Org:  org,
+			HP:   classMetrics(records, HP),
+			Spot: classMetrics(records, Spot),
+		}
+		for _, r := range records {
+			m.Evictions.Preempted += r.causes.Preempted
+			m.Evictions.NodeFailure += r.causes.NodeFailure
+			m.Evictions.Reclaimed += r.causes.Reclaimed
+			m.Evictions.Drained += r.causes.Drained
+			m.GPUSeconds += r.gpuSeconds
+		}
+		out = append(out, m)
+	}
+	rep.Orgs = out
+	if c.tasks.end > rep.End {
+		rep.End = c.tasks.end
+	}
+}
+
+// EvictionCollector breaks evictions down by cause and victim class,
+// attributing Eq. 17 waste to each cause — distinguishing scheduler
+// (HP) preemption from node failures, reclamation storms and drains.
+type EvictionCollector struct {
+	b EvictionBreakdown
+}
+
+// NewEvictionCollector builds the collector behind Report.Evictions.
+func NewEvictionCollector() *EvictionCollector { return &EvictionCollector{} }
+
+// Name implements Collector.
+func (c *EvictionCollector) Name() string { return "evictions" }
+
+// Begin implements Collector.
+func (c *EvictionCollector) Begin(RunMeta) { c.b = EvictionBreakdown{} }
+
+// OnEvent implements Collector.
+func (c *EvictionCollector) OnEvent(e Event) {
+	if e.Kind != TaskEvicted || e.Task == nil {
+		return
+	}
+	c.b.Total++
+	if e.Task.Type == HP {
+		c.b.HP.add(e.Cause)
+	} else {
+		c.b.Spot.add(e.Cause)
+	}
+	switch e.Cause {
+	case CausePreempted:
+		c.b.WastePreempted += e.Waste
+	case CauseNodeFailure:
+		c.b.WasteNodeFailure += e.Waste
+	case CauseReclaimed:
+		c.b.WasteReclaimed += e.Waste
+	case CauseDrained:
+		c.b.WasteDrained += e.Waste
+	}
+}
+
+// Finish implements Collector.
+func (c *EvictionCollector) Finish(rep *Report) {
+	b := c.b
+	rep.Evictions = &b
+}
+
+// QuotaCollector records every quota tick — the quota set, the spot
+// usage it constrains, and the η safety coefficient when the policy
+// reports one — and summarizes how closely the feedback loop tracks
+// its target.
+type QuotaCollector struct {
+	samples []QuotaSample
+}
+
+// NewQuotaCollector builds the collector behind Report.Quota.
+func NewQuotaCollector() *QuotaCollector { return &QuotaCollector{} }
+
+// Name implements Collector.
+func (c *QuotaCollector) Name() string { return "quota" }
+
+// Begin implements Collector.
+func (c *QuotaCollector) Begin(RunMeta) { c.samples = nil }
+
+// OnEvent implements Collector.
+func (c *QuotaCollector) OnEvent(e Event) {
+	if e.Kind != QuotaUpdated {
+		return
+	}
+	c.samples = append(c.samples, QuotaSample{
+		At:       e.At,
+		Member:   e.Member,
+		Quota:    QuotaValue(e.Quota),
+		SpotUsed: e.Used,
+		Eta:      e.Eta,
+	})
+}
+
+// Finish implements Collector.
+func (c *QuotaCollector) Finish(rep *Report) {
+	tr := &QuotaTrajectory{Samples: append([]QuotaSample(nil), c.samples...)}
+	n := 0
+	for _, s := range c.samples {
+		tr.FinalEta = s.Eta
+		if s.Quota.Unlimited() {
+			continue
+		}
+		err := float64(s.Quota) - s.SpotUsed
+		if err < 0 {
+			err = -err
+		}
+		tr.MeanAbsError += err
+		if err > tr.MaxAbsError {
+			tr.MaxAbsError = err
+		}
+		n++
+	}
+	if n > 0 {
+		tr.MeanAbsError /= float64(n)
+	}
+	rep.Quota = tr
+	if k := len(c.samples); k > 0 && c.samples[k-1].At > rep.End {
+		rep.End = c.samples[k-1].At
+	}
+}
+
+// AllocationCollector records the allocation timeline: one point per
+// distinct (used, capacity) step of the run, rebuilt from the
+// AllocSampled ticks the simulator mirrors onto the spine. On a
+// federation aggregate stream each member's trajectory coalesces
+// independently, so interleaved members cannot defeat the
+// deduplication.
+type AllocationCollector struct {
+	points []AllocPoint
+	last   map[string]AllocPoint
+}
+
+// NewAllocationCollector builds the collector behind Report.Timeline.
+func NewAllocationCollector() *AllocationCollector { return &AllocationCollector{} }
+
+// Name implements Collector.
+func (c *AllocationCollector) Name() string { return "timeline" }
+
+// Begin implements Collector.
+func (c *AllocationCollector) Begin(RunMeta) {
+	c.points = nil
+	c.last = make(map[string]AllocPoint)
+}
+
+// OnEvent implements Collector.
+func (c *AllocationCollector) OnEvent(e Event) {
+	if e.Kind != AllocSampled {
+		return
+	}
+	p := AllocPoint{At: e.At, Member: e.Member, Used: e.Used, Capacity: e.Capacity}
+	if e.Capacity > 0 {
+		p.Rate = e.Used / e.Capacity
+	}
+	// Coalesce repeats per member: only steps change the timeline.
+	if last, ok := c.last[p.Member]; ok && last.Used == p.Used && last.Capacity == p.Capacity {
+		return
+	}
+	c.last[p.Member] = p
+	c.points = append(c.points, p)
+}
+
+// Finish implements Collector.
+func (c *AllocationCollector) Finish(rep *Report) {
+	rep.Timeline = append([]AllocPoint(nil), c.points...)
+	if n := len(c.points); n > 0 && c.points[n-1].At > rep.End {
+		rep.End = c.points[n-1].At
+	}
+}
+
+// CostConfig parameterizes the cost ledger.
+type CostConfig struct {
+	// Pricing maps GPU model → on-demand hourly list price; nil
+	// uses DefaultPricing.
+	Pricing PricingTable
+	// Margin is the spot realization margin (fraction of list price
+	// recovered when reclaimed capacity sells as spot); ≤ 0 uses the
+	// default ≈26%.
+	Margin float64
+	// BaselineRates holds the pre-deployment allocation rate per GPU
+	// model the run's rates are priced against (Fig. 9's "pre"
+	// column); models missing from the map price the full achieved
+	// rate.
+	BaselineRates map[string]float64
+}
+
+// CostCollector prices the run's allocation per GPU pool,
+// reproducing the paper's monthly-benefit accounting (§4.3):
+// each pool's allocation-rate improvement over its baseline ×
+// list price × 730 h × spot margin. Tasks pinned to a GPU model
+// charge that pool; unpinned tasks spread over pools by capacity
+// share.
+type CostCollector struct {
+	cfg     CostConfig
+	meta    RunMeta
+	models  []string
+	cap     map[string]float64
+	used    map[string]float64
+	area    map[string]float64
+	lastAt  Time
+	firstAt Time
+	started bool
+	// downNodes distinguishes a NodeUp that restores a failed node
+	// (capacity already on the books) from one that delivers a
+	// scale-out node never seen before (a new pool, or growth of an
+	// existing one).
+	downNodes map[int]bool
+}
+
+// NewCostCollector builds the collector behind Report.Cost.
+func NewCostCollector(cfg CostConfig) *CostCollector {
+	if cfg.Pricing == nil {
+		cfg.Pricing = DefaultPricing()
+	}
+	if cfg.Margin <= 0 {
+		cfg.Margin = pricing.DefaultSpotMargin
+	}
+	return &CostCollector{cfg: cfg}
+}
+
+// Name implements Collector.
+func (c *CostCollector) Name() string { return "cost" }
+
+// Begin implements Collector.
+func (c *CostCollector) Begin(meta RunMeta) {
+	c.meta = meta
+	c.models = nil
+	c.cap = make(map[string]float64)
+	c.used = make(map[string]float64)
+	c.area = make(map[string]float64)
+	c.started = false
+	c.downNodes = make(map[int]bool)
+	for _, p := range meta.Pools {
+		c.models = append(c.models, p.Model)
+		c.cap[p.Model] += p.GPUs
+	}
+	sort.Strings(c.models)
+}
+
+// addModel registers a model the run-start pools did not list (a
+// scale-out pool, or a pinned task's model), keeping the ledger
+// order sorted.
+func (c *CostCollector) addModel(model string) {
+	if _, ok := c.cap[model]; ok {
+		return
+	}
+	c.cap[model] = 0
+	i := sort.SearchStrings(c.models, model)
+	c.models = append(c.models, "")
+	copy(c.models[i+1:], c.models[i:])
+	c.models[i] = model
+}
+
+// integrateTo closes the per-model integration windows up to at.
+func (c *CostCollector) integrateTo(at Time) {
+	if !c.started {
+		return
+	}
+	dt := float64(at.Sub(c.lastAt))
+	if dt > 0 {
+		for m, u := range c.used {
+			c.area[m] += u * dt
+		}
+		c.lastAt = at
+	}
+}
+
+// charge adjusts per-model usage by delta GPUs for a task, spreading
+// unpinned tasks over pools by capacity share.
+func (c *CostCollector) charge(model string, delta float64) {
+	if model != "" || len(c.models) == 0 {
+		if model != "" {
+			c.addModel(model)
+		}
+		c.used[model] += delta
+		return
+	}
+	total := 0.0
+	for _, m := range c.models {
+		total += c.cap[m]
+	}
+	if total <= 0 {
+		c.used[c.models[0]] += delta
+		return
+	}
+	for _, m := range c.models {
+		c.used[m] += delta * c.cap[m] / total
+	}
+}
+
+// OnEvent implements Collector.
+func (c *CostCollector) OnEvent(e Event) {
+	switch e.Kind {
+	case AllocSampled:
+		if !c.started {
+			c.started = true
+			c.firstAt = e.At
+			c.lastAt = e.At
+			return
+		}
+		c.integrateTo(e.At)
+	case TaskStarted:
+		c.integrateTo(e.At)
+		c.charge(e.Task.GPUModel, e.Task.TotalGPUs())
+	case TaskEvicted, TaskFinished:
+		c.integrateTo(e.At)
+		c.charge(e.Task.GPUModel, -e.Task.TotalGPUs())
+	case NodeDown:
+		if e.Node != nil {
+			c.downNodes[e.Node.ID] = true
+		}
+	case NodeUp:
+		// A NodeUp for a node never seen down is a scale-out
+		// delivery: grow (or create) its pool so the ledger covers
+		// capacity added mid-run.
+		if e.Node == nil {
+			return
+		}
+		if c.downNodes[e.Node.ID] {
+			delete(c.downNodes, e.Node.ID)
+			return
+		}
+		c.addModel(e.Node.Model)
+		c.cap[e.Node.Model] += float64(e.Node.Capacity())
+	}
+}
+
+// Finish implements Collector.
+func (c *CostCollector) Finish(rep *Report) {
+	ledger := &CostLedger{
+		Margin:        c.cfg.Margin,
+		HoursPerMonth: pricing.HoursPerMonth,
+	}
+	span := float64(c.lastAt.Sub(c.firstAt))
+	for _, m := range c.models {
+		rate := 0.0
+		if span > 0 && c.cap[m] > 0 {
+			rate = c.area[m] / (c.cap[m] * span)
+		}
+		price := c.cfg.Pricing[m]
+		pc := PoolCost{
+			Model:           m,
+			GPUs:            c.cap[m],
+			BaselineRate:    c.cfg.BaselineRates[m],
+			Rate:            rate,
+			PricePerGPUHour: price,
+		}
+		// The Fig. 9 formula, per pool: GPUs × Δrate × price ×
+		// 730 h × margin (see internal/pricing.MonthlyBenefit).
+		pc.MonthlyBenefitUSD = pc.GPUs * (pc.Rate - pc.BaselineRate) * price *
+			pricing.HoursPerMonth * c.cfg.Margin
+		ledger.MonthlyBenefitUSD += pc.MonthlyBenefitUSD
+		ledger.Pools = append(ledger.Pools, pc)
+	}
+	rep.Cost = ledger
+	if c.lastAt > rep.End {
+		rep.End = c.lastAt
+	}
+}

@@ -34,6 +34,10 @@ const (
 	QuotaUpdated = sched.QuotaUpdated
 	NodeDown     = sched.NodeDown
 	NodeUp       = sched.NodeUp
+	// AllocSampled mirrors the simulator's allocation observations
+	// onto the spine (Event.Used / Event.Capacity); collectors
+	// rebuild the allocation trajectory from these ticks.
+	AllocSampled = sched.AllocSampled
 )
 
 // Eviction causes.
@@ -65,6 +69,9 @@ type Engine struct {
 	// src is the streaming trace attached by WithTraceSource, drained
 	// by RunTrace.
 	src TraceSource
+	// collectors are the report collectors attached by
+	// WithCollectors, assembled into a Report after the run.
+	collectors []Collector
 	// hasScheduler/hasQuota track whether options supplied them, so
 	// defaults fill in only what is missing.
 	hasScheduler bool
@@ -85,7 +92,24 @@ func NewEngine(cl *Cluster, opts ...Option) *Engine {
 			e.cfg.Quota = sys.Quota
 		}
 	}
+	// Collectors begin once the scheduler default is resolved, so
+	// their RunMeta names the scheduler that will actually run.
+	for _, c := range e.collectors {
+		c.Begin(e.runMeta())
+	}
 	return e
+}
+
+// runMeta describes this engine's run to its collectors.
+func (e *Engine) runMeta() RunMeta {
+	meta := RunMeta{
+		Scheduler: e.cfg.Scheduler.Name(),
+		TotalGPUs: e.cluster.TotalGPUs(""),
+	}
+	for _, model := range e.cluster.Models() {
+		meta.Pools = append(meta.Pools, PoolInfo{Model: model, GPUs: e.cluster.TotalGPUs(model)})
+	}
+	return meta
 }
 
 // Cluster returns the engine's cluster.
@@ -110,6 +134,62 @@ func (e *Engine) Run(tasks []*Task) *Result {
 // TraceSource returns the streaming trace attached by WithTraceSource
 // (nil without one).
 func (e *Engine) TraceSource() TraceSource { return e.src }
+
+// Collectors returns the collectors registered with WithCollectors
+// (plus any defaults attached by RunReport), in registration order.
+func (e *Engine) Collectors() []Collector { return e.collectors }
+
+// Report assembles a Report from the engine's collectors. Call it
+// after Run or RunTrace; with no collectors registered it returns
+// nil. Assembly is a pure read of collector state, so it may be
+// called more than once.
+func (e *Engine) Report() *Report {
+	if len(e.collectors) == 0 {
+		return nil
+	}
+	rep := &Report{Scheduler: e.cfg.Scheduler.Name()}
+	for _, c := range e.collectors {
+		c.Finish(rep)
+	}
+	return rep
+}
+
+// ensureCollectors attaches the default collector set when none were
+// registered, so RunReport always has sections to assemble.
+func (e *Engine) ensureCollectors() {
+	if len(e.collectors) > 0 {
+		return
+	}
+	cs := DefaultCollectors()
+	meta := e.runMeta()
+	for _, c := range cs {
+		c.Begin(meta)
+		e.cfg.Observers = append(e.cfg.Observers, c)
+	}
+	e.collectors = cs
+}
+
+// RunReport executes the run with the engine's collectors attached —
+// the full default set when none were registered — and returns the
+// assembled Report. Like Run, it mutates tasks and the cluster, so
+// each engine reports on one run; Report.Result recovers the legacy
+// Result view.
+func (e *Engine) RunReport(tasks []*Task) *Report {
+	e.ensureCollectors()
+	e.Run(tasks)
+	return e.Report()
+}
+
+// RunTraceReport is RunReport over the engine's attached streaming
+// trace (WithTraceSource): the replay runs with collectors attached
+// and the assembled Report is returned.
+func (e *Engine) RunTraceReport() (*Report, error) {
+	e.ensureCollectors()
+	if _, err := e.RunTrace(); err != nil {
+		return nil, err
+	}
+	return e.Report(), nil
+}
 
 // RunTrace executes the simulation over the engine's attached trace
 // source (WithTraceSource): tasks are pulled one at a time and

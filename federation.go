@@ -2,6 +2,7 @@ package gfs
 
 import (
 	"fmt"
+	"sort"
 
 	"github.com/sjtucitlab/gfs/internal/pricing"
 	"github.com/sjtucitlab/gfs/internal/sched"
@@ -134,6 +135,20 @@ type Federation struct {
 	spill     SpilloverPolicy
 	delay     Duration
 	observers []Observer
+	// src is the streaming trace attached by
+	// WithFederationTraceSource, drained by a RunBatch replay spec.
+	src TraceSource
+	// Report-collection state: collectMk is the set factory from
+	// WithFederationCollectors, realized into one collector set per
+	// member plus an aggregate set (demuxed from the federation
+	// observers) when the run starts — so the metas see the final
+	// route policy regardless of option order, and repeated options
+	// simply replace the factory.
+	collectMk        func() []Collector
+	aggCollectors    []Collector
+	memberCollectors [][]Collector
+	memberIndex      map[string]int
+	lastRes          *FederationResult
 }
 
 // FederationOption configures a Federation at construction.
@@ -165,6 +180,28 @@ func WithMigrationDelay(d Duration) FederationOption {
 // sequence.
 func WithFederationObserver(obs ...Observer) FederationOption {
 	return func(f *Federation) { f.observers = append(f.observers, obs...) }
+}
+
+// WithFederationCollectors attaches report collection to the
+// federation: make builds one fresh collector set per member plus
+// one aggregate set over the whole member-tagged stream (nil uses
+// DefaultCollectors). After Run or RunTrace, Federation.Report
+// assembles the merged per-member + aggregate FederationReport.
+func WithFederationCollectors(mk func() []Collector) FederationOption {
+	return func(f *Federation) {
+		if mk == nil {
+			mk = DefaultCollectors
+		}
+		f.collectMk = mk
+	}
+}
+
+// WithFederationTraceSource attaches a streaming trace for replay.
+// It exists for RunBatch federation specs: a SetupFederation that
+// returns a nil task slice with a source attached is replayed via
+// RunTrace. Direct callers can simply pass the source to RunTrace.
+func WithFederationTraceSource(src TraceSource) FederationOption {
+	return func(f *Federation) { f.src = src }
 }
 
 // NewFederation builds a federation over the members, applying
@@ -203,11 +240,133 @@ func NewFederation(members []Member, opts ...FederationOption) *Federation {
 // Members returns the federation's members in order.
 func (f *Federation) Members() []Member { return f.members }
 
+// TraceSource returns the streaming trace attached by
+// WithFederationTraceSource (nil without one).
+func (f *Federation) TraceSource() TraceSource { return f.src }
+
+// fedDemux fans the tagged federation stream out to the aggregate
+// collector set and, by member name, to each member's set.
+type fedDemux struct{ f *Federation }
+
+// OnEvent implements Observer.
+func (d fedDemux) OnEvent(e Event) {
+	for _, c := range d.f.aggCollectors {
+		c.OnEvent(e)
+	}
+	if i, ok := d.f.memberIndex[e.Member]; ok {
+		for _, c := range d.f.memberCollectors[i] {
+			c.OnEvent(e)
+		}
+	}
+}
+
+// realizeCollectors builds the configured collector sets at run
+// start: per-member and aggregate sets begun against pre-run metas,
+// with one demux joined to the federation observers. It runs at most
+// once; without a configured factory it is a no-op.
+func (f *Federation) realizeCollectors() {
+	if f.collectMk == nil || f.aggCollectors != nil {
+		return
+	}
+	f.attachCollectors(f.collectMk)
+}
+
+// attachCollectors is realizeCollectors' worker: it assumes no sets
+// are attached yet.
+func (f *Federation) attachCollectors(mk func() []Collector) {
+	agg := RunMeta{Scheduler: "federation(" + f.route.Name() + ")"}
+	pools := map[string]float64{}
+	f.memberIndex = map[string]int{}
+	f.memberCollectors = nil
+	for i, m := range f.members {
+		meta := m.Engine.runMeta()
+		agg.TotalGPUs += meta.TotalGPUs
+		for _, p := range meta.Pools {
+			pools[p.Model] += p.GPUs
+		}
+		cs := mk()
+		for _, c := range cs {
+			c.Begin(meta)
+		}
+		f.memberCollectors = append(f.memberCollectors, cs)
+		f.memberIndex[m.Name] = i
+	}
+	var models []string
+	for m := range pools {
+		models = append(models, m)
+	}
+	sort.Strings(models)
+	for _, m := range models {
+		agg.Pools = append(agg.Pools, PoolInfo{Model: m, GPUs: pools[m]})
+	}
+	f.aggCollectors = mk()
+	for _, c := range f.aggCollectors {
+		c.Begin(agg)
+	}
+	f.observers = append(f.observers, fedDemux{f: f})
+}
+
+// ensureCollectors arranges for the default collector sets when none
+// were configured, so RunReport always has sections to assemble.
+func (f *Federation) ensureCollectors() {
+	if f.collectMk == nil {
+		f.collectMk = DefaultCollectors
+	}
+}
+
+// Report assembles the merged FederationReport from the collector
+// sets attached by WithFederationCollectors (or RunReport). Call it
+// after Run or RunTrace; nil without collectors.
+func (f *Federation) Report() *FederationReport {
+	if f.aggCollectors == nil {
+		return nil
+	}
+	out := &FederationReport{Aggregate: &Report{Scheduler: "federation(" + f.route.Name() + ")"}}
+	for _, c := range f.aggCollectors {
+		c.Finish(out.Aggregate)
+	}
+	for i, m := range f.members {
+		rep := &Report{}
+		for _, c := range f.memberCollectors[i] {
+			c.Finish(rep)
+		}
+		out.Members = append(out.Members, MemberReport{Name: m.Name, Report: rep})
+	}
+	if f.lastRes != nil {
+		out.Migrations = f.lastRes.Migrations
+		out.Saturations = f.lastRes.Saturations
+	}
+	return out
+}
+
+// RunReport executes the federated run with collectors attached (the
+// configured sets, or the defaults when none were configured) and
+// returns the merged per-member + aggregate report. Like Run, it
+// mutates tasks and member clusters, so each federation reports on
+// one run.
+func (f *Federation) RunReport(tasks []*Task) *FederationReport {
+	f.ensureCollectors()
+	f.Run(tasks)
+	return f.Report()
+}
+
+// RunTraceReport is RunReport over a streaming trace source.
+func (f *Federation) RunTraceReport(src TraceSource) (*FederationReport, error) {
+	f.ensureCollectors()
+	if _, err := f.RunTrace(src); err != nil {
+		return nil, err
+	}
+	return f.Report(), nil
+}
+
 // Run executes the federated simulation over the trace and returns
 // per-member and aggregate metrics. Tasks and member clusters are
 // mutated in place, so each Run needs a fresh federation and trace.
 func (f *Federation) Run(tasks []*Task) *FederationResult {
-	return sched.RunFederation(f.fedConfig(), tasks)
+	f.realizeCollectors()
+	res := sched.RunFederation(f.fedConfig(), tasks)
+	f.lastRes = res
+	return res
 }
 
 // RunTrace executes the federated simulation over a streaming trace
@@ -218,7 +377,13 @@ func (f *Federation) Run(tasks []*Task) *FederationResult {
 // order; it is closed when the replay ends.
 func (f *Federation) RunTrace(src TraceSource) (*FederationResult, error) {
 	defer src.Close()
-	return sched.RunFederationSource(f.fedConfig(), src)
+	f.realizeCollectors()
+	res, err := sched.RunFederationSource(f.fedConfig(), src)
+	if err != nil {
+		return nil, err
+	}
+	f.lastRes = res
+	return res, nil
 }
 
 // fedConfig lowers the federation's members and policies onto the

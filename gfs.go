@@ -43,6 +43,7 @@ import (
 	"github.com/sjtucitlab/gfs/internal/sched"
 	"github.com/sjtucitlab/gfs/internal/simclock"
 	"github.com/sjtucitlab/gfs/internal/sqa"
+	"github.com/sjtucitlab/gfs/internal/stats"
 	"github.com/sjtucitlab/gfs/internal/task"
 	"github.com/sjtucitlab/gfs/internal/timefeat"
 	"github.com/sjtucitlab/gfs/internal/trace"
@@ -68,6 +69,11 @@ type (
 	SimConfig = sched.SimConfig
 	// Result summarizes a simulation.
 	Result = sched.Result
+	// TaskMetrics summarizes one task class of a Result.
+	TaskMetrics = stats.TaskMetrics
+	// AllocationSample is one allocation-rate observation of a
+	// Result's Samples series.
+	AllocationSample = stats.AllocationSample
 	// System bundles the GFS scheduler and quota policy.
 	System = core.System
 	// Options configures a GFS instance.

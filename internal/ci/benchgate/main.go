@@ -49,10 +49,15 @@ type Report struct {
 	Benchmarks map[string]BenchStat `json:"benchmarks"`
 }
 
-// BenchStat summarizes one benchmark's repeated runs.
+// BenchStat summarizes one benchmark's repeated runs. Allocation
+// medians are present only for benchmarks that report them (via
+// -benchmem or b.ReportAllocs); unlike ns/op they are hardware-
+// independent, so the allocs gate arms even across CPU models.
 type BenchStat struct {
-	MedianNsOp  float64   `json:"median_ns_op"`
-	SamplesNsOp []float64 `json:"samples_ns_op"`
+	MedianNsOp      float64   `json:"median_ns_op"`
+	SamplesNsOp     []float64 `json:"samples_ns_op"`
+	MedianAllocsOp  float64   `json:"median_allocs_op,omitempty"`
+	SamplesAllocsOp []float64 `json:"samples_allocs_op,omitempty"`
 }
 
 func main() {
@@ -103,15 +108,19 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if !comparable(base, report) {
+		var regressions []string
+		if comparable(base, report) {
+			regressions = gate(base, report, *threshold)
+		} else {
 			fmt.Fprintf(os.Stderr,
 				"benchgate: WARNING: baseline measured on %q/%s, this run on %q/%s — "+
-					"absolute medians are not comparable across hardware; gate skipped. "+
-					"Re-seed BENCH_baseline.json from this run's artifact to arm the gate.\n",
+					"absolute ns/op medians are not comparable across hardware; time gate skipped. "+
+					"Re-seed BENCH_baseline.json from this run's artifact to arm it.\n",
 				base.CPU, base.GoArch, report.CPU, report.GoArch)
-			return
 		}
-		regressions := gate(base, report, *threshold)
+		// Allocation counts are hardware-independent, so the allocs
+		// gate arms regardless of the CPU match.
+		regressions = append(regressions, gateAllocs(base, report, *threshold)...)
 		if len(regressions) > 0 {
 			for _, msg := range regressions {
 				fmt.Fprintln(os.Stderr, "REGRESSION:", msg)
@@ -136,6 +145,7 @@ func parseBench(r io.Reader) (*Report, error) {
 		Benchmarks: map[string]BenchStat{},
 	}
 	samples := map[string][]float64{}
+	allocSamples := map[string][]float64{}
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
@@ -147,11 +157,13 @@ func parseBench(r io.Reader) (*Report, error) {
 		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
 		}
-		nsIdx := -1
+		nsIdx, allocIdx := -1, -1
 		for i, f := range fields {
-			if f == "ns/op" {
+			switch f {
+			case "ns/op":
 				nsIdx = i - 1
-				break
+			case "allocs/op":
+				allocIdx = i - 1
 			}
 		}
 		if nsIdx < 1 {
@@ -168,12 +180,22 @@ func parseBench(r io.Reader) (*Report, error) {
 			}
 		}
 		samples[name] = append(samples[name], ns)
+		if allocIdx > 0 {
+			if al, err := strconv.ParseFloat(fields[allocIdx], 64); err == nil {
+				allocSamples[name] = append(allocSamples[name], al)
+			}
+		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	for name, ss := range samples {
-		report.Benchmarks[name] = BenchStat{MedianNsOp: median(ss), SamplesNsOp: ss}
+		st := BenchStat{MedianNsOp: median(ss), SamplesNsOp: ss}
+		if as := allocSamples[name]; len(as) > 0 {
+			st.MedianAllocsOp = median(as)
+			st.SamplesAllocsOp = as
+		}
+		report.Benchmarks[name] = st
 	}
 	return report, nil
 }
@@ -215,6 +237,38 @@ func gate(base, cur *Report, threshold float64) []string {
 		}
 		fmt.Printf("%-24s %12.0f → %12.0f ns/op (%+6.1f%%) %s\n",
 			name, b.MedianNsOp, c.MedianNsOp, 100*(ratio-1), status)
+	}
+	return out
+}
+
+// gateAllocs compares allocs/op medians for every benchmark both
+// reports carry allocation counts for, at the same threshold as the
+// time gate. A benchmark that stopped reporting allocations fails —
+// dropping b.ReportAllocs must not pass as "no regression".
+func gateAllocs(base, cur *Report, threshold float64) []string {
+	var out []string
+	for _, name := range sortedNames(base.Benchmarks) {
+		b := base.Benchmarks[name]
+		if len(b.SamplesAllocsOp) == 0 {
+			continue
+		}
+		c, ok := cur.Benchmarks[name]
+		if !ok || len(c.SamplesAllocsOp) == 0 {
+			out = append(out, fmt.Sprintf("%s: baseline has allocs/op but this run reports none", name))
+			continue
+		}
+		if b.MedianAllocsOp <= 0 {
+			continue
+		}
+		ratio := c.MedianAllocsOp / b.MedianAllocsOp
+		status := "ok"
+		if ratio > 1+threshold {
+			status = "FAIL"
+			out = append(out, fmt.Sprintf("%s: median %0.f allocs/op vs baseline %0.f (%+.1f%%, allowed +%.0f%%)",
+				name, c.MedianAllocsOp, b.MedianAllocsOp, 100*(ratio-1), 100*threshold))
+		}
+		fmt.Printf("%-24s %12.0f → %12.0f allocs/op (%+6.1f%%) %s\n",
+			name, b.MedianAllocsOp, c.MedianAllocsOp, 100*(ratio-1), status)
 	}
 	return out
 }

@@ -14,6 +14,9 @@ BenchmarkSim-8        	     100	   2200000 ns/op	        48.38 allocPct
 BenchmarkSim-8        	     100	   1800000 ns/op	        48.38 allocPct
 BenchmarkFederation-8 	     100	   1000000 ns/op	      1753 goodputGPUh	         3.000 migrations
 BenchmarkFederation-8 	     100	   1100000 ns/op	      1753 goodputGPUh	         3.000 migrations
+BenchmarkReport-8     	     100	   3000000 ns/op	        48.38 allocPct	  524288 B/op	    5000 allocs/op
+BenchmarkReport-8     	     100	   3100000 ns/op	        48.38 allocPct	  524288 B/op	    5200 allocs/op
+BenchmarkReport-8     	     100	   2900000 ns/op	        48.38 allocPct	  524288 B/op	    4900 allocs/op
 PASS
 ok  	github.com/sjtucitlab/gfs	1.234s
 `
@@ -39,6 +42,47 @@ func TestParseBenchMedians(t *testing.T) {
 	}
 	if r.CPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
 		t.Fatalf("cpu header not captured: %q", r.CPU)
+	}
+	rep := r.Benchmarks["BenchmarkReport"]
+	if rep.MedianAllocsOp != 5000 {
+		t.Fatalf("BenchmarkReport allocs median = %v, want 5000", rep.MedianAllocsOp)
+	}
+	if len(rep.SamplesAllocsOp) != 3 {
+		t.Fatalf("BenchmarkReport alloc samples = %d, want 3", len(rep.SamplesAllocsOp))
+	}
+	if len(sim.SamplesAllocsOp) != 0 {
+		t.Fatalf("BenchmarkSim must not gain alloc samples: %v", sim.SamplesAllocsOp)
+	}
+}
+
+// TestGateAllocs: the allocs/op gate fails on regressions beyond the
+// threshold and on benchmarks that stop reporting allocations, and
+// ignores benchmarks that never reported them.
+func TestGateAllocs(t *testing.T) {
+	base := &Report{Benchmarks: map[string]BenchStat{
+		"BenchmarkReport": {MedianNsOp: 1000, MedianAllocsOp: 5000, SamplesAllocsOp: []float64{5000}},
+		"BenchmarkSim":    {MedianNsOp: 1000},
+	}}
+	within := &Report{Benchmarks: map[string]BenchStat{
+		"BenchmarkReport": {MedianNsOp: 1000, MedianAllocsOp: 5500, SamplesAllocsOp: []float64{5500}},
+		"BenchmarkSim":    {MedianNsOp: 1000},
+	}}
+	if msgs := gateAllocs(base, within, 0.15); len(msgs) != 0 {
+		t.Fatalf("+10%% allocs should pass a 15%% gate: %v", msgs)
+	}
+	over := &Report{Benchmarks: map[string]BenchStat{
+		"BenchmarkReport": {MedianNsOp: 1000, MedianAllocsOp: 7000, SamplesAllocsOp: []float64{7000}},
+		"BenchmarkSim":    {MedianNsOp: 1000},
+	}}
+	if msgs := gateAllocs(base, over, 0.15); len(msgs) != 1 {
+		t.Fatalf("+40%% allocs must fail the gate once: %v", msgs)
+	}
+	dropped := &Report{Benchmarks: map[string]BenchStat{
+		"BenchmarkReport": {MedianNsOp: 1000},
+		"BenchmarkSim":    {MedianNsOp: 1000},
+	}}
+	if msgs := gateAllocs(base, dropped, 0.15); len(msgs) != 1 {
+		t.Fatalf("dropping ReportAllocs must fail the gate: %v", msgs)
 	}
 }
 

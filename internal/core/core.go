@@ -92,6 +92,11 @@ type Quota struct {
 // reports).
 func (q *Quota) Allocator() *sqa.Allocator { return q.alloc }
 
+// CurrentEta implements sched.EtaReporter: QuotaUpdated events carry
+// the live safety coefficient, so collectors can trace the Eq. 11
+// feedback loop.
+func (q *Quota) CurrentEta() float64 { return q.alloc.Eta() }
+
 // Quota implements sched.QuotaPolicy.
 func (q *Quota) Quota(ctx *sched.QuotaContext) float64 {
 	if q.disableFeed {

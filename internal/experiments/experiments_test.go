@@ -302,3 +302,29 @@ func TestMonthlyBenefitPaperDeltas(t *testing.T) {
 		t.Fatal("report missing total")
 	}
 }
+
+// TestReportExperiment: the report experiment produces both reports,
+// with the GFS cost ledger priced against the baseline's achieved
+// per-pool allocation rates.
+func TestReportExperiment(t *testing.T) {
+	d, err := ReportExperiment(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Baseline == nil || d.Baseline.Summary == nil {
+		t.Fatal("missing baseline report")
+	}
+	if d.GFS == nil || d.GFS.Summary == nil || d.GFS.Cost == nil {
+		t.Fatal("missing GFS report sections")
+	}
+	if len(d.GFS.Cost.Pools) == 0 {
+		t.Fatal("empty cost ledger")
+	}
+	pool := d.GFS.Cost.Pools[0]
+	if base := d.Baseline.Cost.Pools[0].Rate; pool.BaselineRate != base {
+		t.Fatalf("GFS ledger baseline %v != baseline run rate %v", pool.BaselineRate, base)
+	}
+	if out := FormatReport(d); !strings.Contains(out, "cost total") {
+		t.Fatalf("FormatReport missing ledger:\n%s", out)
+	}
+}

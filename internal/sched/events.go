@@ -43,6 +43,13 @@ const (
 	// its free capacity, or capacity loss forces a spillover. At most
 	// one fires per member per timestamp.
 	ClusterSaturated
+	// AllocSampled mirrors every allocation observation of the
+	// simulator's internal tracker onto the event spine: Event.Used
+	// holds the GPUs in use and Event.Capacity the schedulable
+	// capacity at that instant. Collectors rebuild the allocation
+	// trajectory (and its time-averaged rate) from these ticks alone,
+	// without touching the cluster.
+	AllocSampled
 )
 
 // String implements fmt.Stringer.
@@ -66,6 +73,8 @@ func (k EventKind) String() string {
 		return "TaskMigrated"
 	case ClusterSaturated:
 		return "ClusterSaturated"
+	case AllocSampled:
+		return "AllocSampled"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -120,6 +129,17 @@ type Event struct {
 	Node  *cluster.Node
 	Quota float64
 	Cause EvictCause
+	// Used is the GPUs in use: cluster-wide on AllocSampled, spot
+	// only on QuotaUpdated (the usage the quota constrains).
+	Used float64
+	// Capacity is the schedulable cluster capacity on AllocSampled.
+	Capacity float64
+	// Eta is the quota policy's safety coefficient on QuotaUpdated,
+	// when the policy reports one (see EtaReporter); 0 otherwise.
+	Eta float64
+	// Waste is the wasted GPU-seconds of a TaskEvicted event
+	// (Eq. 17: work lost since the last checkpoint).
+	Waste float64
 	// Member names the federation member the event concerns. The
 	// federation stream sets it on every event (member streams leave
 	// it empty); for TaskMigrated it is the source member.
@@ -140,13 +160,15 @@ func (e Event) String() string {
 	case TaskArrived, TaskStarted, TaskFinished:
 		fmt.Fprintf(&b, " task=%d type=%s gpus=%g", e.Task.ID, e.Task.Type, e.Task.TotalGPUs())
 	case TaskEvicted:
-		fmt.Fprintf(&b, " task=%d type=%s gpus=%g cause=%s", e.Task.ID, e.Task.Type, e.Task.TotalGPUs(), e.Cause)
+		fmt.Fprintf(&b, " task=%d type=%s gpus=%g cause=%s waste=%g", e.Task.ID, e.Task.Type, e.Task.TotalGPUs(), e.Cause, e.Waste)
 	case TaskMigrated:
 		fmt.Fprintf(&b, " task=%d type=%s gpus=%g target=%s", e.Task.ID, e.Task.Type, e.Task.TotalGPUs(), e.Target)
 	case QuotaUpdated:
-		fmt.Fprintf(&b, " quota=%g", e.Quota)
+		fmt.Fprintf(&b, " quota=%g used=%g eta=%g", e.Quota, e.Used, e.Eta)
 	case NodeDown, NodeUp:
 		fmt.Fprintf(&b, " node=%d", e.Node.ID)
+	case AllocSampled:
+		fmt.Fprintf(&b, " used=%g cap=%g", e.Used, e.Capacity)
 	}
 	return b.String()
 }

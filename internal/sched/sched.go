@@ -92,6 +92,14 @@ type QuotaPolicy interface {
 	Quota(ctx *QuotaContext) float64
 }
 
+// EtaReporter is an optional QuotaPolicy extension exposing the
+// policy's current safety coefficient η (the Eq. 11 feedback state).
+// When the policy implements it, QuotaUpdated events carry the value
+// in Event.Eta, so collectors can trace the feedback-loop trajectory.
+type EtaReporter interface {
+	CurrentEta() float64
+}
+
 // AdmissionLimiter is an optional QuotaPolicy extension that bounds
 // how many spot GPUs may be admitted per scheduling pass (an
 // admission ramp). The first spot admission of a pass always

@@ -141,6 +141,10 @@ type Simulator struct {
 	// event construction entirely when nobody listens.
 	hasObs   bool
 	eventSeq uint64
+	// etaRep is the quota policy's EtaReporter view, cached at
+	// construction so QuotaUpdated events can carry η without a type
+	// assertion per tick.
+	etaRep EtaReporter
 
 	// tickOn tracks whether a quota tick is pending in the queue, and
 	// quotaInit whether the initial quota update ran; both matter only
@@ -216,6 +220,9 @@ func NewSimulator(cfg SimConfig, tasks []*task.Task) *Simulator {
 		s.orgDemand[org] = append([]float64(nil), hist...)
 	}
 	s.hasObs = len(cfg.Observers) > 0
+	if er, ok := cfg.Quota.(EtaReporter); ok {
+		s.etaRep = er
+	}
 	// Arrivals use the queue's front class so a mutation at time t
 	// always applies after arrivals at t — even for arrivals Injected
 	// mid-run by a federation router or the streaming replay loop,
@@ -324,8 +331,34 @@ func (s *Simulator) Inject(tk *task.Task, at simclock.Time) {
 // and returns the run's metrics. Call it exactly once, after Step
 // returns false.
 func (s *Simulator) Finish() *Result {
-	s.alloc.Observe(s.now, s.state.Cluster.UsedGPUs(""))
+	s.sampleAlloc()
 	return s.result()
+}
+
+// sampleAlloc observes the cluster's current allocation on the
+// internal tracker and mirrors the observation onto the event spine
+// (AllocSampled), so collectors see exactly the trajectory the
+// tracker integrates.
+func (s *Simulator) sampleAlloc() {
+	used := s.state.Cluster.UsedGPUs("")
+	s.alloc.Observe(s.now, used)
+	s.emitAlloc(used)
+}
+
+// refreshCapacity closes the tracker's integration window after a
+// cluster-membership change and re-reads the schedulable capacity.
+// Every caller follows up with sampleAlloc, so capacity changes and
+// usage observations reach the spine as one uniform tick stream that
+// collectors can integrate exactly like the internal tracker.
+func (s *Simulator) refreshCapacity() {
+	s.alloc.SetCapacity(s.now, s.state.Cluster.TotalGPUs(""))
+}
+
+// emitAlloc publishes one allocation tick to the observers.
+func (s *Simulator) emitAlloc(used float64) {
+	if s.hasObs {
+		s.emit(Event{Kind: AllocSampled, Used: used, Capacity: s.alloc.Capacity()})
+	}
 }
 
 // emit delivers one event to every observer, stamping time and
@@ -363,7 +396,7 @@ func (s *Simulator) handle(ev *simclock.Event) bool {
 			s.gCount++
 			s.evWindow.Record(s.now, false)
 		}
-		s.alloc.Observe(s.now, s.state.Cluster.UsedGPUs(""))
+		s.sampleAlloc()
 		s.lastProgress = s.now
 		if s.hasObs {
 			s.emit(Event{Kind: TaskFinished, Task: e.tk})
@@ -447,7 +480,11 @@ func (s *Simulator) updateQuota() {
 	}
 	s.spotQuota = s.cfg.Quota.Quota(ctx)
 	if s.hasObs {
-		s.emit(Event{Kind: QuotaUpdated, Quota: s.spotQuota})
+		ev := Event{Kind: QuotaUpdated, Quota: s.spotQuota, Used: ctx.SpotGuaranteed}
+		if s.etaRep != nil {
+			ev.Eta = s.etaRep.CurrentEta()
+		}
+		s.emit(ev)
 	}
 }
 
@@ -545,22 +582,23 @@ func (s *Simulator) applyScenario(a ScenarioAction) bool {
 		if !s.failNode(cl.Node(a.NodeID)) {
 			return false
 		}
-		s.alloc.SetCapacity(s.now, cl.TotalGPUs(""))
-		s.alloc.Observe(s.now, cl.UsedGPUs(""))
+		s.refreshCapacity()
+		s.sampleAlloc()
 		s.lastProgress = s.now
 		return true
 	case OpNodeUp:
 		if !s.restoreNode(cl.Node(a.NodeID)) {
 			return false
 		}
-		s.alloc.SetCapacity(s.now, cl.TotalGPUs(""))
+		s.refreshCapacity()
+		s.sampleAlloc()
 		s.lastProgress = s.now
 		return true
 	case OpNodeDrain:
 		if !s.drainNode(cl.Node(a.NodeID)) {
 			return false
 		}
-		s.alloc.Observe(s.now, cl.UsedGPUs(""))
+		s.sampleAlloc()
 		s.lastProgress = s.now
 		return true
 	case OpDomainDown:
@@ -578,8 +616,8 @@ func (s *Simulator) applyScenario(a ScenarioAction) bool {
 		if a.CascadeP > 0 {
 			s.cascadeFailure(a)
 		}
-		s.alloc.SetCapacity(s.now, cl.TotalGPUs(""))
-		s.alloc.Observe(s.now, cl.UsedGPUs(""))
+		s.refreshCapacity()
+		s.sampleAlloc()
 		s.lastProgress = s.now
 		return true
 	case OpDomainUp:
@@ -592,7 +630,8 @@ func (s *Simulator) applyScenario(a ScenarioAction) bool {
 		if !any {
 			return false
 		}
-		s.alloc.SetCapacity(s.now, cl.TotalGPUs(""))
+		s.refreshCapacity()
+		s.sampleAlloc()
 		s.lastProgress = s.now
 		return true
 	case OpDomainDrain:
@@ -605,17 +644,18 @@ func (s *Simulator) applyScenario(a ScenarioAction) bool {
 		if !any {
 			return false
 		}
-		s.alloc.Observe(s.now, cl.UsedGPUs(""))
+		s.sampleAlloc()
 		s.lastProgress = s.now
 		return true
 	case OpScaleOut:
 		added := cl.AddPool(a.Pool)
-		s.alloc.SetCapacity(s.now, cl.TotalGPUs(""))
+		s.refreshCapacity()
 		if s.hasObs {
 			for _, n := range added {
 				s.emit(Event{Kind: NodeUp, Node: n})
 			}
 		}
+		s.sampleAlloc()
 		s.lastProgress = s.now
 		return true
 	case OpReclaimSpot:
@@ -638,7 +678,7 @@ func (s *Simulator) applyScenario(a ScenarioAction) bool {
 			reclaimed += tk.TotalGPUs()
 			s.evictVictim(tk, CauseReclaimed, locs)
 		}
-		s.alloc.Observe(s.now, cl.UsedGPUs(""))
+		s.sampleAlloc()
 		s.lastProgress = s.now
 		return true
 	}
@@ -652,7 +692,8 @@ func (s *Simulator) evictVictim(v *task.Task, cause EvictCause, locs []NodePods)
 	if v.State != task.Running {
 		return
 	}
-	s.waste += v.Evict(s.now)
+	waste := v.Evict(s.now)
+	s.waste += waste
 	s.epochs[v.ID]++
 	s.running--
 	if v.Type == task.Spot {
@@ -663,7 +704,7 @@ func (s *Simulator) evictVictim(v *task.Task, cause EvictCause, locs []NodePods)
 		}
 	}
 	if s.hasObs {
-		s.emit(Event{Kind: TaskEvicted, Task: v, Cause: cause})
+		s.emit(Event{Kind: TaskEvicted, Task: v, Cause: cause, Waste: waste})
 	}
 	if s.cfg.EvictionInterceptor != nil && s.cfg.EvictionInterceptor(v, cause) {
 		// Claimed: the task leaves this simulator's books (it will be
@@ -816,7 +857,8 @@ func (s *Simulator) mergePending(kept []*task.Task) {
 func (s *Simulator) apply(tk *task.Task, dec *Decision) {
 	victimLocs := dec.VictimLocs
 	for i, v := range dec.Victims {
-		s.waste += v.Evict(s.now)
+		waste := v.Evict(s.now)
+		s.waste += waste
 		s.epochs[v.ID]++
 		s.fCount++
 		s.running--
@@ -827,7 +869,7 @@ func (s *Simulator) apply(tk *task.Task, dec *Decision) {
 			}
 		}
 		if s.hasObs {
-			s.emit(Event{Kind: TaskEvicted, Task: v, Cause: CausePreempted})
+			s.emit(Event{Kind: TaskEvicted, Task: v, Cause: CausePreempted, Waste: waste})
 		}
 		s.insertPending(v)
 	}
@@ -845,7 +887,7 @@ func (s *Simulator) apply(tk *task.Task, dec *Decision) {
 	s.epochs[tk.ID]++
 	s.running++
 	s.queue.Push(end, finishEvent{tk: tk, epoch: s.epochs[tk.ID]})
-	s.alloc.Observe(s.now, s.state.Cluster.UsedGPUs(""))
+	s.sampleAlloc()
 	s.lastProgress = s.now
 	if s.hasObs {
 		s.emit(Event{Kind: TaskStarted, Task: tk})

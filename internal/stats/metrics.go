@@ -112,6 +112,16 @@ func (a *AllocationTracker) SetCapacity(t simclock.Time, capacity float64) {
 	a.capacity = capacity
 }
 
+// Capacity returns the tracker's current capacity.
+func (a *AllocationTracker) Capacity() float64 { return a.capacity }
+
+// Integrals returns the raw integrals behind Rate — ∫used dt and
+// ∫capacity dt — so several trackers (e.g. one per federation
+// member) can combine into one aggregate rate.
+func (a *AllocationTracker) Integrals() (usedGPUSeconds, capacityGPUSeconds float64) {
+	return a.area, a.capArea
+}
+
 // Rate returns the time-averaged allocation rate observed so far.
 func (a *AllocationTracker) Rate() float64 {
 	if a.span == 0 || a.capArea == 0 {

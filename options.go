@@ -72,6 +72,21 @@ func WithObserver(obs ...Observer) Option {
 	return func(e *Engine) { e.cfg.Observers = append(e.cfg.Observers, obs...) }
 }
 
+// WithCollectors registers report collectors: each joins the event
+// stream as an observer and contributes its section to the Report
+// assembled by Engine.Report after the run. It may be repeated;
+// collectors receive events (and report) in registration order. Use
+// DefaultCollectors for the full built-in set, or compose any subset
+// with custom Collector implementations.
+func WithCollectors(cs ...Collector) Option {
+	return func(e *Engine) {
+		e.collectors = append(e.collectors, cs...)
+		for _, c := range cs {
+			e.cfg.Observers = append(e.cfg.Observers, c)
+		}
+	}
+}
+
 // WithScenario injects a scenario's timed cluster mutations into the
 // run's event queue.
 func WithScenario(sc *Scenario) Option {

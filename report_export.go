@@ -1,0 +1,453 @@
+package gfs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file implements the Report export formats: JSONL (one
+// self-describing record per line, streamed), CSV (flat tables per
+// section) and a Prometheus-style text snapshot. All exports are
+// byte-deterministic for deterministic runs — the property the CI
+// determinism gate asserts across RunBatch worker counts.
+
+// reportLine is one JSONL record: Record names the payload, Member
+// tags federation exports, and exactly one payload field is set.
+type reportLine struct {
+	// Record is the line's payload kind: report, summary, org,
+	// evictions, quota, alloc, cost, section or federation.
+	Record string `json:"record"`
+	// Member tags the owning federation member ("" = aggregate or
+	// single-engine).
+	Member string `json:"member,omitempty"`
+	// Scheduler and End annotate the leading "report" record.
+	Scheduler string `json:"scheduler,omitempty"`
+	End       Time   `json:"end,omitempty"`
+	// Payload fields, one per record kind.
+	Summary    *Summary           `json:"summary,omitempty"`
+	Org        *OrgMetrics        `json:"org,omitempty"`
+	Evictions  *EvictionBreakdown `json:"evictions,omitempty"`
+	Quota      *QuotaSample       `json:"quota,omitempty"`
+	Alloc      *AllocPoint        `json:"alloc,omitempty"`
+	Cost       *CostLedger        `json:"cost,omitempty"`
+	Section    *CustomSection     `json:"section,omitempty"`
+	Federation *federationLine    `json:"federation,omitempty"`
+}
+
+// federationLine is the payload of a federation JSONL header record.
+type federationLine struct {
+	Migrations  int `json:"migrations"`
+	Saturations int `json:"saturations"`
+}
+
+// WriteJSONL streams the report as JSON Lines: a leading "report"
+// record, then one record per section element (orgs, quota samples
+// and timeline points each get a line of their own), so consumers
+// can process arbitrarily long trajectories without buffering the
+// whole report.
+func (r *Report) WriteJSONL(w io.Writer) error {
+	return r.writeJSONL(w, "")
+}
+
+func (r *Report) writeJSONL(w io.Writer, member string) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	put := func(line reportLine) error {
+		line.Member = member
+		return enc.Encode(line)
+	}
+	if err := put(reportLine{Record: "report", Scheduler: r.Scheduler, End: r.End}); err != nil {
+		return err
+	}
+	if r.Summary != nil {
+		if err := put(reportLine{Record: "summary", Summary: r.Summary}); err != nil {
+			return err
+		}
+	}
+	for i := range r.Orgs {
+		if err := put(reportLine{Record: "org", Org: &r.Orgs[i]}); err != nil {
+			return err
+		}
+	}
+	if r.Evictions != nil {
+		if err := put(reportLine{Record: "evictions", Evictions: r.Evictions}); err != nil {
+			return err
+		}
+	}
+	if r.Quota != nil {
+		for i := range r.Quota.Samples {
+			if err := put(reportLine{Record: "quota", Quota: &r.Quota.Samples[i]}); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range r.Timeline {
+		if err := put(reportLine{Record: "alloc", Alloc: &r.Timeline[i]}); err != nil {
+			return err
+		}
+	}
+	if r.Cost != nil {
+		if err := put(reportLine{Record: "cost", Cost: r.Cost}); err != nil {
+			return err
+		}
+	}
+	for i := range r.Sections {
+		if err := put(reportLine{Record: "section", Section: &r.Sections[i]}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONL streams the federation report: a "federation" header
+// record, the aggregate report's records untagged, then each
+// member's records tagged with its name.
+func (f *FederationReport) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	err := enc.Encode(reportLine{Record: "federation", Federation: &federationLine{
+		Migrations: f.Migrations, Saturations: f.Saturations,
+	}})
+	if err != nil {
+		return err
+	}
+	if f.Aggregate != nil {
+		if err := f.Aggregate.writeJSONL(w, ""); err != nil {
+			return err
+		}
+	}
+	for _, m := range f.Members {
+		if err := m.Report.writeJSONL(w, m.Name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ftoa renders a float for CSV output, shortest round-trip form.
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// WriteCSV writes the per-organization metrics table — one row per
+// organization and task class, led by two "*" rows carrying the
+// cluster-wide summary when present.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"org", "class", "count", "finished", "unfinished",
+		"jct_mean_s", "jct_p50_s", "jct_p95_s", "jct_p99_s",
+		"queue_mean_s", "queue_p50_s", "queue_p95_s", "queue_p99_s", "queue_max_s",
+		"evictions", "runs", "eviction_rate", "gpu_seconds",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := func(org, class string, m ClassMetrics) error {
+		return cw.Write([]string{
+			org, class,
+			strconv.Itoa(m.Count), strconv.Itoa(m.Finished), strconv.Itoa(m.Unfinished),
+			ftoa(m.JCTMean), ftoa(m.JCTP50), ftoa(m.JCTP95), ftoa(m.JCTP99),
+			ftoa(m.QueueMean), ftoa(m.QueueP50), ftoa(m.QueueP95), ftoa(m.QueueP99), ftoa(m.QueueMax),
+			strconv.Itoa(m.Evictions), strconv.Itoa(m.Runs), ftoa(m.EvictionRate), ftoa(m.GPUSeconds),
+		})
+	}
+	if s := r.Summary; s != nil {
+		if err := row("*", "hp", s.HP); err != nil {
+			return err
+		}
+		if err := row("*", "spot", s.Spot); err != nil {
+			return err
+		}
+	}
+	for _, o := range r.Orgs {
+		if err := row(o.Org, "hp", o.HP); err != nil {
+			return err
+		}
+		if err := row(o.Org, "spot", o.Spot); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteQuotaCSV writes the quota trajectory: one row per quota tick
+// (at, member, quota, spot_used, eta); an unlimited quota renders as
+// the string "unlimited".
+func (r *Report) WriteQuotaCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at", "member", "quota", "spot_used", "eta"}); err != nil {
+		return err
+	}
+	if r.Quota != nil {
+		for _, s := range r.Quota.Samples {
+			err := cw.Write([]string{
+				strconv.FormatInt(int64(s.At), 10), s.Member,
+				s.Quota.String(), ftoa(s.SpotUsed), ftoa(s.Eta),
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTimelineCSV writes the allocation timeline: one row per step
+// (at, member, used, capacity, rate).
+func (r *Report) WriteTimelineCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"at", "member", "used", "capacity", "rate"}); err != nil {
+		return err
+	}
+	for _, p := range r.Timeline {
+		err := cw.Write([]string{
+			strconv.FormatInt(int64(p.At), 10), p.Member,
+			ftoa(p.Used), ftoa(p.Capacity), ftoa(p.Rate),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// promSample is one metric sample of the Prometheus snapshot.
+type promSample struct {
+	name   string
+	labels string // rendered {k="v",...} or ""
+	value  float64
+}
+
+// promFamilies fixes the family order and help strings of the
+// snapshot. Families absent from a report are skipped.
+var promFamilies = []struct{ name, help string }{
+	{"gfs_run_end_seconds", "Simulated time of the run's last event."},
+	{"gfs_tasks_total", "Tasks that arrived, by class."},
+	{"gfs_tasks_finished_total", "Tasks that completed, by class."},
+	{"gfs_jct_seconds", "Job completion time percentiles, by class."},
+	{"gfs_jct_mean_seconds", "Mean job completion time, by class."},
+	{"gfs_queue_seconds", "Queue-wait percentiles, by class."},
+	{"gfs_queue_max_seconds", "Maximum queue wait, by class."},
+	{"gfs_evictions_total", "Eviction events, by class and cause."},
+	{"gfs_eviction_rate", "Evictions per run attempt, by class."},
+	{"gfs_allocation_rate", "Time-averaged GPU allocation rate."},
+	{"gfs_wasted_gpu_seconds", "GPU-seconds lost to evictions (Eq. 17)."},
+	{"gfs_spot_quota_gpus", "Final spot quota (+Inf when unlimited)."},
+	{"gfs_quota_eta", "Final safety coefficient of the quota feedback loop."},
+	{"gfs_quota_tracking_error_gpus", "Quota-vs-usage tracking error, mean and max."},
+	{"gfs_org_tasks_total", "Tasks per organization and class."},
+	{"gfs_org_gpu_seconds", "GPU time held per organization."},
+	{"gfs_org_evictions_total", "Evictions per organization."},
+	{"gfs_pool_allocation_rate", "Achieved allocation rate per GPU pool."},
+	{"gfs_pool_monthly_benefit_usd", "Priced monthly benefit per GPU pool."},
+	{"gfs_monthly_benefit_usd", "Total priced monthly benefit."},
+	{"gfs_federation_migrations_total", "Delivered spillover migrations."},
+	{"gfs_federation_saturations_total", "ClusterSaturated occurrences."},
+}
+
+// promEscaper escapes label values per the Prometheus text
+// exposition format (backslash, double quote, newline). Org and
+// model names come from ingested traces, so they are arbitrary.
+var promEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// promLabels renders label pairs in the given order, escaping
+// values.
+func promLabels(pairs ...string) string {
+	if len(pairs) == 0 {
+		return ""
+	}
+	s := "{"
+	for i := 0; i+1 < len(pairs); i += 2 {
+		if pairs[i+1] == "" {
+			continue
+		}
+		if len(s) > 1 {
+			s += ","
+		}
+		s += pairs[i] + `="` + promEscaper.Replace(pairs[i+1]) + `"`
+	}
+	if s == "{" {
+		return ""
+	}
+	return s + "}"
+}
+
+// promValue renders a sample value (Prometheus accepts +Inf).
+func promValue(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// samples flattens the report into metric samples, tagging each with
+// the member label when set.
+func (r *Report) samples(member string) []promSample {
+	var out []promSample
+	add := func(name string, value float64, labels ...string) {
+		labels = append([]string{"member", member}, labels...)
+		out = append(out, promSample{name: name, labels: promLabels(labels...), value: value})
+	}
+	add("gfs_run_end_seconds", float64(r.End))
+	if s := r.Summary; s != nil {
+		for _, c := range []struct {
+			class string
+			m     ClassMetrics
+		}{{"hp", s.HP}, {"spot", s.Spot}} {
+			add("gfs_tasks_total", float64(c.m.Count), "class", c.class)
+			add("gfs_tasks_finished_total", float64(c.m.Finished), "class", c.class)
+			add("gfs_jct_seconds", c.m.JCTP50, "class", c.class, "quantile", "0.5")
+			add("gfs_jct_seconds", c.m.JCTP95, "class", c.class, "quantile", "0.95")
+			add("gfs_jct_seconds", c.m.JCTP99, "class", c.class, "quantile", "0.99")
+			add("gfs_jct_mean_seconds", c.m.JCTMean, "class", c.class)
+			add("gfs_queue_seconds", c.m.QueueP50, "class", c.class, "quantile", "0.5")
+			add("gfs_queue_seconds", c.m.QueueP95, "class", c.class, "quantile", "0.95")
+			add("gfs_queue_seconds", c.m.QueueP99, "class", c.class, "quantile", "0.99")
+			add("gfs_queue_max_seconds", c.m.QueueMax, "class", c.class)
+			add("gfs_eviction_rate", c.m.EvictionRate, "class", c.class)
+		}
+		add("gfs_allocation_rate", s.AllocationRate)
+		add("gfs_wasted_gpu_seconds", s.WastedGPUSeconds)
+		add("gfs_spot_quota_gpus", float64(s.FinalQuota))
+	}
+	if e := r.Evictions; e != nil {
+		for _, c := range []struct {
+			class string
+			m     EvictionCounts
+		}{{"hp", e.HP}, {"spot", e.Spot}} {
+			add("gfs_evictions_total", float64(c.m.Preempted), "class", c.class, "cause", "preempted")
+			add("gfs_evictions_total", float64(c.m.NodeFailure), "class", c.class, "cause", "node-failure")
+			add("gfs_evictions_total", float64(c.m.Reclaimed), "class", c.class, "cause", "reclaimed")
+			add("gfs_evictions_total", float64(c.m.Drained), "class", c.class, "cause", "drained")
+		}
+	}
+	if q := r.Quota; q != nil {
+		add("gfs_quota_eta", q.FinalEta)
+		add("gfs_quota_tracking_error_gpus", q.MeanAbsError, "stat", "mean")
+		add("gfs_quota_tracking_error_gpus", q.MaxAbsError, "stat", "max")
+	}
+	for _, o := range r.Orgs {
+		org := o.Org
+		if org == "" {
+			org = "(none)"
+		}
+		add("gfs_org_tasks_total", float64(o.HP.Count), "org", org, "class", "hp")
+		add("gfs_org_tasks_total", float64(o.Spot.Count), "org", org, "class", "spot")
+		add("gfs_org_gpu_seconds", o.GPUSeconds, "org", org)
+		add("gfs_org_evictions_total", float64(o.Evictions.Total()), "org", org)
+	}
+	if c := r.Cost; c != nil {
+		for _, p := range c.Pools {
+			add("gfs_pool_allocation_rate", p.Rate, "model", p.Model)
+			add("gfs_pool_monthly_benefit_usd", p.MonthlyBenefitUSD, "model", p.Model)
+		}
+		add("gfs_monthly_benefit_usd", c.MonthlyBenefitUSD)
+	}
+	return out
+}
+
+// writeProm renders samples grouped by family in the fixed family
+// order, one HELP/TYPE header per family.
+func writeProm(w io.Writer, samples []promSample) error {
+	byName := make(map[string][]promSample)
+	for _, s := range samples {
+		byName[s.name] = append(byName[s.name], s)
+	}
+	for _, fam := range promFamilies {
+		ss := byName[fam.name]
+		if len(ss) == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", fam.name, fam.help, fam.name); err != nil {
+			return err
+		}
+		for _, s := range ss {
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", s.name, s.labels, promValue(s.value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WritePrometheus renders the report as a Prometheus text-exposition
+// snapshot: gauges for every section, grouped by metric family.
+func (r *Report) WritePrometheus(w io.Writer) error {
+	return writeProm(w, r.samples(""))
+}
+
+// WritePrometheus renders the federation report as one snapshot: the
+// aggregate unlabeled, each member's series under a member label,
+// plus the federation counters.
+func (f *FederationReport) WritePrometheus(w io.Writer) error {
+	var samples []promSample
+	samples = append(samples,
+		promSample{name: "gfs_federation_migrations_total", value: float64(f.Migrations)},
+		promSample{name: "gfs_federation_saturations_total", value: float64(f.Saturations)},
+	)
+	if f.Aggregate != nil {
+		samples = append(samples, f.Aggregate.samples("")...)
+	}
+	for _, m := range f.Members {
+		samples = append(samples, m.Report.samples(m.Name)...)
+	}
+	return writeProm(w, samples)
+}
+
+// WriteCSV writes the federation's per-organization tables: the
+// aggregate's rows tagged member "", then each member's rows tagged
+// with its name. The header gains a leading member column.
+func (f *FederationReport) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{
+		"member", "org", "class", "count", "finished", "unfinished",
+		"jct_mean_s", "jct_p50_s", "jct_p95_s", "jct_p99_s",
+		"queue_mean_s", "queue_p50_s", "queue_p95_s", "queue_p99_s", "queue_max_s",
+		"evictions", "runs", "eviction_rate", "gpu_seconds",
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := func(member, org, class string, m ClassMetrics) error {
+		return cw.Write([]string{
+			member, org, class,
+			strconv.Itoa(m.Count), strconv.Itoa(m.Finished), strconv.Itoa(m.Unfinished),
+			ftoa(m.JCTMean), ftoa(m.JCTP50), ftoa(m.JCTP95), ftoa(m.JCTP99),
+			ftoa(m.QueueMean), ftoa(m.QueueP50), ftoa(m.QueueP95), ftoa(m.QueueP99), ftoa(m.QueueMax),
+			strconv.Itoa(m.Evictions), strconv.Itoa(m.Runs), ftoa(m.EvictionRate), ftoa(m.GPUSeconds),
+		})
+	}
+	dump := func(member string, r *Report) error {
+		if r == nil {
+			return nil
+		}
+		if s := r.Summary; s != nil {
+			if err := row(member, "*", "hp", s.HP); err != nil {
+				return err
+			}
+			if err := row(member, "*", "spot", s.Spot); err != nil {
+				return err
+			}
+		}
+		for _, o := range r.Orgs {
+			if err := row(member, o.Org, "hp", o.HP); err != nil {
+				return err
+			}
+			if err := row(member, o.Org, "spot", o.Spot); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := dump("", f.Aggregate); err != nil {
+		return err
+	}
+	for _, m := range f.Members {
+		if err := dump(m.Name, m.Report); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

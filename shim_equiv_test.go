@@ -1,0 +1,115 @@
+package gfs_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	gfs "github.com/sjtucitlab/gfs"
+)
+
+// These tests pin the deprecation contract of the legacy Simulate*
+// entry points (gfs.go): each shim must produce results — and,
+// through the report pipeline, reports — identical to the Engine API
+// it delegates to. A drift here means the migration table in
+// README.md is lying.
+
+// shimSystem builds a small deterministic GFS system for the
+// Simulate shim (reactive-only: no estimator, so no training noise).
+func shimSystem() *gfs.System {
+	return gfs.NewSystem(gfs.DefaultOptions())
+}
+
+// assertSameResult deep-compares two results, including the task
+// slices (pointees, not pointers).
+func assertSameResult(t *testing.T, name string, got, want *gfs.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s diverged from Engine.Run:\n got  %+v\n want %+v", name, got, want)
+	}
+}
+
+// reportJSONL renders a report's JSONL export as a string.
+func reportJSONL(t *testing.T, rep *gfs.Report) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := rep.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestSimulateShimEquivalence: the deprecated Simulate produces the
+// same Result as the Engine it wraps, and the report pipeline sees
+// the identical run.
+func TestSimulateShimEquivalence(t *testing.T) {
+	shim := gfs.Simulate(gfs.NewCluster("A100", 16, 8), shimSystem(), chaosTrace(17))
+	eng := gfs.NewEngine(gfs.NewCluster("A100", 16, 8),
+		gfs.WithSystem(shimSystem())).Run(chaosTrace(17))
+	assertSameResult(t, "Simulate", shim, eng)
+
+	repA := gfs.NewEngine(gfs.NewCluster("A100", 16, 8),
+		gfs.WithSystem(shimSystem())).RunReport(chaosTrace(17))
+	repB := gfs.NewEngine(gfs.NewCluster("A100", 16, 8),
+		gfs.WithSystem(shimSystem())).RunReport(chaosTrace(17))
+	if a, b := reportJSONL(t, repA), reportJSONL(t, repB); a != b {
+		t.Fatal("report pipeline not deterministic for the shim configuration")
+	}
+	// The report's thin Result view must match the shim's scalars.
+	view := repA.Result()
+	if view.HP != shim.HP || view.Spot != shim.Spot ||
+		view.AllocationRate != shim.AllocationRate ||
+		view.WastedGPUSeconds != shim.WastedGPUSeconds ||
+		view.End != shim.End {
+		t.Fatalf("report view diverged from Simulate:\n got  %+v\n want %+v", view, shim)
+	}
+}
+
+// TestSimulateSchedulerShimEquivalence: the deprecated
+// SimulateScheduler matches Engine.Run with the same scheduler and
+// quota, for both a baseline with quota and one without.
+func TestSimulateSchedulerShimEquivalence(t *testing.T) {
+	cases := []struct {
+		name  string
+		sched func() gfs.Scheduler
+		quota func() gfs.QuotaPolicy
+	}{
+		{"yarn-no-quota", gfs.NewYARNCS, func() gfs.QuotaPolicy { return nil }},
+		{"firstfit-static", gfs.NewStaticFirstFit, func() gfs.QuotaPolicy { return gfs.StaticQuota(0.25) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			shim := gfs.SimulateScheduler(gfs.NewCluster("A100", 16, 8),
+				tc.sched(), tc.quota(), chaosTrace(23))
+			eng := gfs.NewEngine(gfs.NewCluster("A100", 16, 8),
+				gfs.WithScheduler(tc.sched()), gfs.WithQuota(tc.quota())).Run(chaosTrace(23))
+			assertSameResult(t, "SimulateScheduler", shim, eng)
+
+			rep := gfs.NewEngine(gfs.NewCluster("A100", 16, 8),
+				gfs.WithScheduler(tc.sched()), gfs.WithQuota(tc.quota())).RunReport(chaosTrace(23))
+			view := rep.Result()
+			if view.HP != shim.HP || view.Spot != shim.Spot || view.End != shim.End ||
+				view.AllocationRate != shim.AllocationRate {
+				t.Fatalf("report view diverged from SimulateScheduler:\n got  %+v\n want %+v", view, shim)
+			}
+		})
+	}
+}
+
+// TestSimulateConfigShimEquivalence: the deprecated SimulateConfig
+// runs the exact configuration an Engine would, including through
+// Engine.Config round-trips.
+func TestSimulateConfigShimEquivalence(t *testing.T) {
+	build := func() gfs.SimConfig {
+		return gfs.NewEngine(gfs.NewCluster("A100", 16, 8),
+			gfs.WithScheduler(gfs.NewYARNCS()),
+			gfs.WithGrace(30*gfs.Second)).Config()
+	}
+	shim := gfs.SimulateConfig(build(), chaosTrace(5))
+	eng := gfs.NewEngine(gfs.NewCluster("A100", 16, 8),
+		gfs.WithScheduler(gfs.NewYARNCS()),
+		gfs.WithGrace(30*gfs.Second)).Run(chaosTrace(5))
+	// The two runs used different cluster instances; compare
+	// everything except the task pointers' identity by value.
+	assertSameResult(t, "SimulateConfig", shim, eng)
+}
