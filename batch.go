@@ -1,6 +1,7 @@
 package gfs
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -77,6 +78,15 @@ func WithWorkers(n int) BatchOption {
 // spec alone, so a batch produces byte-identical results at any
 // worker count.
 func RunBatch(specs []BatchSpec, opts ...BatchOption) []BatchResult {
+	return RunBatchContext(context.Background(), specs, opts...)
+}
+
+// RunBatchContext is RunBatch with cooperative cancellation: ctx is
+// threaded into every run (checked at simulator-step granularity),
+// so cancelling it stops in-flight runs promptly and fails not-yet-
+// started ones without running them. Cancelled runs carry ctx's
+// error in BatchResult.Err; results keep spec order either way.
+func RunBatchContext(ctx context.Context, specs []BatchSpec, opts ...BatchOption) []BatchResult {
 	cfg := batchConfig{workers: runtime.GOMAXPROCS(0)}
 	for _, opt := range opts {
 		opt(&cfg)
@@ -96,7 +106,7 @@ func RunBatch(specs []BatchSpec, opts ...BatchOption) []BatchResult {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				results[i] = runOne(specs[i])
+				results[i] = runOne(ctx, specs[i])
 			}
 		}()
 	}
@@ -110,13 +120,19 @@ func RunBatch(specs []BatchSpec, opts ...BatchOption) []BatchResult {
 
 // runOne executes one spec, converting panics into errors so a single
 // bad run cannot take down the sweep.
-func runOne(spec BatchSpec) (br BatchResult) {
+func runOne(ctx context.Context, spec BatchSpec) (br BatchResult) {
 	br.Name = spec.Name
 	defer func() {
 		if r := recover(); r != nil {
 			br.Err = fmt.Errorf("gfs: batch run %q panicked: %v", spec.Name, r)
 		}
 	}()
+	if err := ctx.Err(); err != nil {
+		// Cancelled before this run started: fail it without paying
+		// for Setup.
+		br.Err = err
+		return br
+	}
 	switch {
 	case spec.Setup == nil && spec.SetupFederation == nil:
 		br.Err = fmt.Errorf("gfs: batch run %q has no Setup", spec.Name)
@@ -126,12 +142,12 @@ func runOne(spec BatchSpec) (br BatchResult) {
 		fed, tasks := spec.SetupFederation()
 		switch {
 		case tasks == nil && fed.TraceSource() != nil:
-			br.Fed, br.Err = fed.RunTrace(fed.TraceSource())
+			br.Fed, br.Err = fed.RunTraceContext(ctx, fed.TraceSource())
 		case tasks != nil && fed.TraceSource() != nil:
 			fed.TraceSource().Close()
 			br.Err = fmt.Errorf("gfs: batch run %q supplies both a trace source and a task slice", spec.Name)
 		default:
-			br.Fed = fed.Run(tasks)
+			br.Fed, br.Err = fed.RunContext(ctx, tasks)
 		}
 		if br.Err == nil && fed.aggCollectors != nil {
 			br.FedReport = fed.Report()
@@ -140,14 +156,14 @@ func runOne(spec BatchSpec) (br BatchResult) {
 		eng, tasks := spec.Setup()
 		switch {
 		case tasks == nil && eng.TraceSource() != nil:
-			br.Result, br.Err = eng.RunTrace()
+			br.Result, br.Err = eng.RunTraceContext(ctx)
 		case tasks != nil && eng.TraceSource() != nil:
 			// Ambiguous setup: surface the misuse (and release the
 			// source) instead of silently replaying neither-or-both.
 			eng.TraceSource().Close()
 			br.Err = fmt.Errorf("gfs: batch run %q supplies both a trace source and a task slice", spec.Name)
 		default:
-			br.Result = eng.Run(tasks)
+			br.Result, br.Err = eng.RunContext(ctx, tasks)
 		}
 		if br.Err == nil && len(eng.Collectors()) > 0 {
 			br.Report = eng.Report()

@@ -1,0 +1,85 @@
+// BenchmarkService measures the gfsd daemon path end to end: a full
+// session lifecycle — HTTP submission, the shared worker pool, event
+// capture, report assembly and the blocking report fetch — per
+// iteration, over a real HTTP round trip (httptest). It reports
+// sessions/s (daemon throughput) and the p99 time-to-first-event in
+// milliseconds (how quickly a freshly accepted session starts
+// streaming progress). Gated in CI by internal/ci/benchgate.
+package gfs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/sjtucitlab/gfs/internal/service"
+	"github.com/sjtucitlab/gfs/internal/stats"
+)
+
+func BenchmarkService(b *testing.B) {
+	svc := service.New(service.Config{Workers: 2, EventBuffer: 256})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	client := ts.Client()
+	spec := []byte(`{"scheduler":"yarn","nodes":4,"days":1,"spot_scale":1,"seed":17}`)
+
+	ttfe := make([]float64, 0, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := client.Post(ts.URL+"/v1/sessions", "application/json", bytes.NewReader(spec))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			b.Fatalf("POST /v1/sessions: %s", resp.Status)
+		}
+
+		// ?wait=true blocks until the session is terminal, so the
+		// fetch below times the whole lifecycle.
+		rep, err := client.Get(ts.URL + "/v1/sessions/" + st.ID + "/report?format=jsonl&wait=true")
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, err = io.Copy(io.Discard, rep.Body)
+		rep.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.StatusCode != http.StatusOK {
+			b.Fatalf("report fetch: %s", rep.Status)
+		}
+
+		status, err := client.Get(ts.URL + "/v1/sessions/" + st.ID)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var full struct {
+			State              string  `json:"state"`
+			TimeToFirstEventMS float64 `json:"time_to_first_event_ms"`
+		}
+		err = json.NewDecoder(status.Body).Decode(&full)
+		status.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if full.State != "done" {
+			b.Fatalf("session %s ended %s", st.ID, full.State)
+		}
+		ttfe = append(ttfe, full.TimeToFirstEventMS)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+	b.ReportMetric(stats.Quantiles(ttfe, 0.99)[0], "p99TTFE-ms")
+}

@@ -1,6 +1,7 @@
 package gfs
 
 import (
+	"context"
 	"errors"
 
 	"github.com/sjtucitlab/gfs/internal/core"
@@ -131,6 +132,17 @@ func (e *Engine) Run(tasks []*Task) *Result {
 	return sched.Run(e.cfg, tasks)
 }
 
+// RunContext is Run with cooperative cancellation: the simulation
+// checks ctx between simulator steps and returns ctx.Err() promptly —
+// within one step — when it fires. A cancelled run leaves tasks in
+// whatever lifecycle state they reached and assembles no report; a
+// run that completes is byte-identical to Run over the same spec (a
+// background context takes the exact same loop). The run itself
+// spawns no goroutines, so cancellation leaks nothing.
+func (e *Engine) RunContext(ctx context.Context, tasks []*Task) (*Result, error) {
+	return sched.RunContext(ctx, e.cfg, tasks)
+}
+
 // TraceSource returns the streaming trace attached by WithTraceSource
 // (nil without one).
 func (e *Engine) TraceSource() TraceSource { return e.src }
@@ -180,12 +192,30 @@ func (e *Engine) RunReport(tasks []*Task) *Report {
 	return e.Report()
 }
 
+// RunReportContext is RunReport with cooperative cancellation: on
+// ctx firing the run returns ctx.Err() promptly and no report is
+// assembled.
+func (e *Engine) RunReportContext(ctx context.Context, tasks []*Task) (*Report, error) {
+	e.ensureCollectors()
+	if _, err := e.RunContext(ctx, tasks); err != nil {
+		return nil, err
+	}
+	return e.Report(), nil
+}
+
 // RunTraceReport is RunReport over the engine's attached streaming
 // trace (WithTraceSource): the replay runs with collectors attached
 // and the assembled Report is returned.
 func (e *Engine) RunTraceReport() (*Report, error) {
+	return e.RunTraceReportContext(context.Background())
+}
+
+// RunTraceReportContext is RunTraceReport with cooperative
+// cancellation: on ctx firing the replay returns ctx.Err() promptly
+// and no report is assembled.
+func (e *Engine) RunTraceReportContext(ctx context.Context) (*Report, error) {
 	e.ensureCollectors()
-	if _, err := e.RunTrace(); err != nil {
+	if _, err := e.RunTraceContext(ctx); err != nil {
 		return nil, err
 	}
 	return e.Report(), nil
@@ -201,9 +231,16 @@ func (e *Engine) RunTraceReport() (*Report, error) {
 // it mutates replayed tasks and the cluster, so an engine runs one
 // trace; the source is closed when the replay ends.
 func (e *Engine) RunTrace() (*Result, error) {
+	return e.RunTraceContext(context.Background())
+}
+
+// RunTraceContext is RunTrace with cooperative cancellation, checked
+// once per simulator step like RunContext. The source is closed when
+// the replay ends, cancelled or not.
+func (e *Engine) RunTraceContext(ctx context.Context) (*Result, error) {
 	if e.src == nil {
 		return nil, errors.New("gfs: RunTrace needs WithTraceSource")
 	}
 	defer e.src.Close()
-	return sched.RunSource(e.cfg, e.src)
+	return sched.RunSourceContext(ctx, e.cfg, e.src)
 }

@@ -1,0 +1,144 @@
+// Command service runs the gfsd daemon in-process and drives one full
+// session lifecycle against it over real HTTP: submit a run spec,
+// follow the live NDJSON event stream, poll progress, cancel a second
+// long run mid-flight, fetch the collected report, and scrape the
+// daemon's /metrics. See docs/service.md for the cookbook; cmd/gfsd
+// serves the same handler standalone.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/sjtucitlab/gfs/internal/service"
+)
+
+func main() {
+	// The daemon core is an http.Handler; cmd/gfsd mounts it on a real
+	// listener, this example on httptest.
+	svc := service.New(service.Config{Workers: 2})
+	defer svc.Close()
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	fmt.Printf("gfsd handler mounted at %s\n\n", ts.URL)
+
+	// -- Submit: POST a run spec, get 202 + a session id. -------------
+	id := submit(ts.URL, `{"scheduler":"yarn","nodes":8,"days":1,"seed":7}`)
+	fmt.Printf("submitted session %s\n", id)
+
+	// -- Stream: follow the live NDJSON event feed to the end. --------
+	resp, err := http.Get(ts.URL + "/v1/sessions/" + id + "/events")
+	check(err)
+	var events int
+	var firstKinds []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if events < 4 {
+			var e struct {
+				Kind string `json:"kind"`
+			}
+			check(json.Unmarshal(sc.Bytes(), &e))
+			firstKinds = append(firstKinds, e.Kind)
+		}
+		events++
+	}
+	resp.Body.Close()
+	check(sc.Err())
+	fmt.Printf("streamed %d events (first: %s)\n", events, strings.Join(firstKinds, ", "))
+
+	// -- Status: terminal state + progress counters. ------------------
+	st := status(ts.URL, id)
+	fmt.Printf("session %s: %s — %d tasks finished over %.0f simulated hours\n",
+		id, st.State, st.Progress.TasksFinished, float64(st.Progress.SimTimeS)/3600)
+
+	// -- Report: the collected gfs.Report, any export format. ---------
+	rep, err := http.Get(ts.URL + "/v1/sessions/" + id + "/report?format=jsonl")
+	check(err)
+	body, err := io.ReadAll(rep.Body)
+	rep.Body.Close()
+	check(err)
+	fmt.Printf("JSONL report: %d records, %d bytes (byte-identical to gfsim -report jsonl)\n",
+		bytes.Count(body, []byte{'\n'}), len(body))
+
+	// -- Cancel: a 14-day run stops within one simulator step. --------
+	long := submit(ts.URL, `{"scheduler":"gfs","nodes":64,"days":14,"spot_scale":8}`)
+	for status(ts.URL, long).State == "queued" {
+		time.Sleep(5 * time.Millisecond)
+	}
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+long, nil)
+	check(err)
+	del, err := http.DefaultClient.Do(req)
+	check(err)
+	del.Body.Close()
+	for !terminal(status(ts.URL, long).State) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	fmt.Printf("session %s: %s after DELETE mid-run\n", long, status(ts.URL, long).State)
+
+	// -- Metrics: daemon counters + per-session report snapshots. -----
+	met, err := http.Get(ts.URL + "/metrics")
+	check(err)
+	defer met.Body.Close()
+	fmt.Println("\n/metrics excerpt:")
+	sc = bufio.NewScanner(met.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "gfsd_sessions") ||
+			strings.HasPrefix(line, "gfs_allocation_rate{") {
+			fmt.Println("  " + line)
+		}
+	}
+	check(sc.Err())
+}
+
+// sessionStatus is the slice of the status response this example
+// reads.
+type sessionStatus struct {
+	ID       string `json:"id"`
+	State    string `json:"state"`
+	Progress struct {
+		TasksFinished uint64 `json:"tasks_finished"`
+		SimTimeS      int64  `json:"sim_time_s"`
+	} `json:"progress"`
+}
+
+func submit(base, spec string) string {
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(spec))
+	check(err)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		body, _ := io.ReadAll(resp.Body)
+		check(fmt.Errorf("POST /v1/sessions: %s: %s", resp.Status, body))
+	}
+	var st sessionStatus
+	check(json.NewDecoder(resp.Body).Decode(&st))
+	return st.ID
+}
+
+func status(base, id string) sessionStatus {
+	resp, err := http.Get(base + "/v1/sessions/" + id)
+	check(err)
+	defer resp.Body.Close()
+	var st sessionStatus
+	check(json.NewDecoder(resp.Body).Decode(&st))
+	return st
+}
+
+func terminal(state string) bool {
+	return state == "done" || state == "failed" || state == "cancelled"
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "service:", err)
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,7 @@
 package gfs
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -369,6 +370,19 @@ func (f *Federation) Run(tasks []*Task) *FederationResult {
 	return res
 }
 
+// RunContext is Run with cooperative cancellation: the shared-clock
+// loop checks ctx once per simulated instant and returns ctx.Err()
+// promptly when it fires, assembling no result.
+func (f *Federation) RunContext(ctx context.Context, tasks []*Task) (*FederationResult, error) {
+	f.realizeCollectors()
+	res, err := sched.RunFederationContext(ctx, f.fedConfig(), tasks)
+	if err != nil {
+		return nil, err
+	}
+	f.lastRes = res
+	return res, nil
+}
+
 // RunTrace executes the federated simulation over a streaming trace
 // source: arrivals are pulled just ahead of the shared clock and
 // routed to members through the same Inject path as Run, so federated
@@ -376,9 +390,16 @@ func (f *Federation) Run(tasks []*Task) *FederationResult {
 // side. The source must yield tasks in non-decreasing submission
 // order; it is closed when the replay ends.
 func (f *Federation) RunTrace(src TraceSource) (*FederationResult, error) {
+	return f.RunTraceContext(context.Background(), src)
+}
+
+// RunTraceContext is RunTrace with cooperative cancellation, checked
+// once per shared-clock instant like RunContext. The source is closed
+// when the replay ends, cancelled or not.
+func (f *Federation) RunTraceContext(ctx context.Context, src TraceSource) (*FederationResult, error) {
 	defer src.Close()
 	f.realizeCollectors()
-	res, err := sched.RunFederationSource(f.fedConfig(), src)
+	res, err := sched.RunFederationSourceContext(ctx, f.fedConfig(), src)
 	if err != nil {
 		return nil, err
 	}

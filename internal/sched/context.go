@@ -1,0 +1,116 @@
+package sched
+
+import (
+	"context"
+
+	"github.com/sjtucitlab/gfs/internal/task"
+)
+
+// This file threads context.Context through every run loop so
+// long-running simulations can be cancelled cooperatively — the
+// mechanism behind DELETE /v1/sessions/{id} in the gfsd service. The
+// cancellation check runs at simulator-step granularity: a cancelled
+// run returns within one Step of the signal, leaving no goroutines
+// behind (the simulator itself never spawns any). The ctx-free
+// entry points (Run, RunSource, RunFederation, RunFederationSource)
+// are thin wrappers over these, so a background context — whose
+// Done channel is nil — costs the hot loop nothing.
+
+// RunContext executes the simulation over the given trace, checking
+// ctx between simulator steps: on cancellation it returns ctx.Err()
+// promptly, with the partially-run trace's tasks left in whatever
+// lifecycle state they reached. A nil-Done context (context.Background)
+// runs the exact loop Run does.
+func RunContext(ctx context.Context, cfg SimConfig, tasks []*task.Task) (*Result, error) {
+	s := NewSimulator(cfg, tasks)
+	done := ctx.Done()
+	if done == nil {
+		for s.Step() {
+		}
+		return s.Finish(), nil
+	}
+	for s.Step() {
+		select {
+		case <-done:
+			return nil, ctx.Err()
+		default:
+		}
+	}
+	return s.Finish(), nil
+}
+
+// RunSourceContext is RunSource with cooperative cancellation: the
+// streamed replay checks ctx once per simulator step and returns
+// ctx.Err() promptly when cancelled. The source is not closed here
+// (RunSource's callers own it), matching RunSource.
+func RunSourceContext(ctx context.Context, cfg SimConfig, src TaskSource) (*Result, error) {
+	s := NewSimulator(cfg, nil)
+	feed := &replayFeed{src: src}
+	if err := feed.pull(); err != nil {
+		return nil, err
+	}
+	done := ctx.Done()
+	for {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		// Inject every task due at or before the next pending event,
+		// so an arrival is always queued before the clock steps past
+		// its submission time.
+		for feed.next != nil {
+			if at, ok := s.PeekTime(); ok && feed.next.Submit > at {
+				break
+			}
+			tk := feed.next
+			if err := feed.pull(); err != nil {
+				return nil, err
+			}
+			s.Inject(tk, tk.Submit)
+		}
+		if !s.Step() {
+			break
+		}
+	}
+	return s.Finish(), nil
+}
+
+// RunFederationContext is RunFederation with cooperative
+// cancellation: the shared-clock loop checks ctx once per instant and
+// returns ctx.Err() promptly when cancelled.
+func RunFederationContext(ctx context.Context, cfg FedConfig, tasks []*task.Task) (*FedResult, error) {
+	f, err := newFedSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.ctx = ctx
+	for _, tk := range tasks {
+		f.queue.PushFront(tk.Submit, fedArrival{tk: tk})
+	}
+	if err := f.loop(); err != nil {
+		return nil, err
+	}
+	return f.finish(), nil
+}
+
+// RunFederationSourceContext is RunFederationSource with cooperative
+// cancellation, checked once per shared-clock instant.
+func RunFederationSourceContext(ctx context.Context, cfg FedConfig, src TaskSource) (*FedResult, error) {
+	f, err := newFedSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	f.ctx = ctx
+	feed := &replayFeed{src: src}
+	if err := feed.pull(); err != nil {
+		return nil, err
+	}
+	f.feed = feed
+	if err := f.loop(); err != nil {
+		return nil, err
+	}
+	return f.finish(), nil
+}

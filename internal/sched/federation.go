@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -350,6 +351,9 @@ type fedSim struct {
 	// shared clock (RunFederationSource); RunFederation leaves it nil
 	// and preloads the queue instead.
 	feed *replayFeed
+	// ctx, when non-nil, is checked once per shared-clock instant so a
+	// federated run cancels cooperatively (RunFederationContext).
+	ctx context.Context
 }
 
 // fedTap forwards one member's event stream to the federation
@@ -375,16 +379,14 @@ func (t fedTap) OnEvent(e Event) {
 // advance in lockstep, and capacity-loss victims spill over per the
 // spillover policy. The run is deterministic in (config, trace).
 func RunFederation(cfg FedConfig, tasks []*task.Task) *FedResult {
-	f, err := newFedSim(cfg)
+	// A background context never cancels, and with no streaming feed
+	// the loop cannot fail either, so the only possible error is a bad
+	// configuration.
+	res, err := RunFederationContext(context.Background(), cfg, tasks)
 	if err != nil {
 		panic(err.Error())
 	}
-	for _, tk := range tasks {
-		f.queue.PushFront(tk.Submit, fedArrival{tk: tk})
-	}
-	// With no streaming feed the loop cannot fail.
-	_ = f.loop()
-	return f.finish()
+	return res
 }
 
 // newFedSim builds the shared-clock driver over the configured
@@ -462,7 +464,18 @@ func (f *fedSim) refill() error {
 // (routing, migration delivery) resolve first, then every member with
 // events at that instant steps, in member order.
 func (f *fedSim) loop() error {
+	var done <-chan struct{}
+	if f.ctx != nil {
+		done = f.ctx.Done()
+	}
 	for {
+		if done != nil {
+			select {
+			case <-done:
+				return f.ctx.Err()
+			default:
+			}
+		}
 		if err := f.refill(); err != nil {
 			return err
 		}

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -73,30 +74,7 @@ func (f *replayFeed) pull() error {
 // next arrival instead of keeping the original phase, since a
 // streaming simulator cannot see into its future.
 func RunSource(cfg SimConfig, src TaskSource) (*Result, error) {
-	s := NewSimulator(cfg, nil)
-	feed := &replayFeed{src: src}
-	if err := feed.pull(); err != nil {
-		return nil, err
-	}
-	for {
-		// Inject every task due at or before the next pending event,
-		// so an arrival is always queued before the clock steps past
-		// its submission time.
-		for feed.next != nil {
-			if at, ok := s.PeekTime(); ok && feed.next.Submit > at {
-				break
-			}
-			tk := feed.next
-			if err := feed.pull(); err != nil {
-				return nil, err
-			}
-			s.Inject(tk, tk.Submit)
-		}
-		if !s.Step() {
-			break
-		}
-	}
-	return s.Finish(), nil
+	return RunSourceContext(context.Background(), cfg, src)
 }
 
 // RunFederationSource executes a federated simulation over a streamed
@@ -105,17 +83,5 @@ func RunSource(cfg SimConfig, src TaskSource) (*Result, error) {
 // routing loop ingests arbitrarily large traces in constant memory.
 // The source must yield tasks in non-decreasing submission order.
 func RunFederationSource(cfg FedConfig, src TaskSource) (*FedResult, error) {
-	f, err := newFedSim(cfg)
-	if err != nil {
-		return nil, err
-	}
-	feed := &replayFeed{src: src}
-	if err := feed.pull(); err != nil {
-		return nil, err
-	}
-	f.feed = feed
-	if err := f.loop(); err != nil {
-		return nil, err
-	}
-	return f.finish(), nil
+	return RunFederationSourceContext(context.Background(), cfg, src)
 }

@@ -1,6 +1,7 @@
 package sched
 
 import (
+	"context"
 	"hash/fnv"
 	"math"
 	"math/rand"
@@ -180,12 +181,11 @@ func shapeOfTask(tk *task.Task) taskShape {
 }
 
 // Run executes the simulation over the given trace and returns the
-// metrics.
+// metrics. It is RunContext with a background context (which can
+// never cancel, so no error surfaces).
 func Run(cfg SimConfig, tasks []*task.Task) *Result {
-	s := NewSimulator(cfg, tasks)
-	for s.Step() {
-	}
-	return s.Finish()
+	res, _ := RunContext(context.Background(), cfg, tasks)
+	return res
 }
 
 // NewSimulator builds a simulator over the trace without running it.

@@ -1,0 +1,231 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	gfs "github.com/sjtucitlab/gfs"
+)
+
+// wireEvent is one simulator event as serialized onto a session's
+// event stream: the gfs.Event fields relevant to its kind, flattened
+// to JSON-friendly scalars. Seq is the log's own contiguous counter
+// (the stream cursor), not the simulator's. The synthetic kind "gap"
+// marks events a slow client missed because they fell off the
+// session's bounded ring; Dropped counts them.
+type wireEvent struct {
+	Seq  uint64 `json:"seq"`
+	At   int64  `json:"at"`
+	Kind string `json:"kind"`
+	// Task identity, set on task lifecycle events.
+	Task  int     `json:"task,omitempty"`
+	Class string  `json:"class,omitempty"`
+	Org   string  `json:"org,omitempty"`
+	GPUs  float64 `json:"gpus,omitempty"`
+	// Eviction detail (TaskEvicted).
+	Cause string  `json:"cause,omitempty"`
+	Waste float64 `json:"waste,omitempty"`
+	// Node identity (NodeDown/NodeUp); pointer so node 0 survives
+	// omitempty.
+	Node *int `json:"node,omitempty"`
+	// Quota tick detail (QuotaUpdated); QuotaValue renders an
+	// unlimited quota as "unlimited" instead of an unmarshalable
+	// +Inf.
+	Quota *gfs.QuotaValue `json:"quota,omitempty"`
+	Used  float64         `json:"used,omitempty"`
+	Eta   float64         `json:"eta,omitempty"`
+	// Allocation sample detail (AllocSampled; Used is shared with
+	// quota ticks).
+	Capacity float64 `json:"capacity,omitempty"`
+	// Federation tags (member streams leave them empty).
+	Member string `json:"member,omitempty"`
+	Target string `json:"target,omitempty"`
+	// Dropped counts the events a "gap" record stands in for.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// toWire flattens a simulator event for the stream, stamping it with
+// the log's sequence number.
+func toWire(e gfs.Event, seq uint64) wireEvent {
+	w := wireEvent{Seq: seq, At: int64(e.At), Kind: e.Kind.String(), Member: e.Member, Target: e.Target}
+	if t := e.Task; t != nil {
+		w.Task = t.ID
+		w.Class = t.Type.String()
+		w.Org = t.Org
+		w.GPUs = t.TotalGPUs()
+	}
+	switch e.Kind {
+	case gfs.TaskEvicted:
+		w.Cause = e.Cause.String()
+		w.Waste = e.Waste
+	case gfs.QuotaUpdated:
+		q := gfs.QuotaValue(e.Quota)
+		w.Quota = &q
+		w.Used = e.Used
+		w.Eta = e.Eta
+	case gfs.NodeDown, gfs.NodeUp:
+		id := e.Node.ID
+		w.Node = &id
+	case gfs.AllocSampled:
+		w.Used = e.Used
+		w.Capacity = e.Capacity
+	}
+	return w
+}
+
+// Progress is the live view of a session's simulation, rebuilt from
+// its event stream.
+type Progress struct {
+	// Events is the total events emitted so far; DroppedEvents how
+	// many of them have already fallen off the session's ring.
+	Events        uint64 `json:"events"`
+	DroppedEvents uint64 `json:"dropped_events,omitempty"`
+	// SimTimeS is the simulated clock of the latest event.
+	SimTimeS int64 `json:"sim_time_s"`
+	// Task lifecycle counters.
+	TasksArrived  uint64 `json:"tasks_arrived"`
+	TasksStarted  uint64 `json:"tasks_started"`
+	TasksFinished uint64 `json:"tasks_finished"`
+	TasksEvicted  uint64 `json:"tasks_evicted"`
+}
+
+// eventLog is a session's bounded event ring: the simulation appends
+// (synchronously, from the hot loop — so appends never block) and any
+// number of stream handlers read by cursor. When a reader's cursor
+// has fallen off the ring it learns how many events it missed and
+// resumes from the oldest retained one — backpressure costs a slow
+// client fidelity, never the simulation throughput. Readers with no
+// events available receive a notification channel that is closed on
+// the next append.
+type eventLog struct {
+	mu sync.Mutex
+	// notify is closed and replaced on append while armed (a reader
+	// is waiting).
+	notify chan struct{}
+	armed  bool
+	// buf is the ring: n events starting at head; the oldest
+	// retained event has sequence total-n.
+	buf     []wireEvent
+	head, n int
+	total   uint64
+	dropped uint64
+	closed  bool
+	prog    Progress
+	// firstAt is when the first event landed (wall clock), for the
+	// time-to-first-event metric.
+	firstAt  time.Time
+	hasFirst bool
+}
+
+// newEventLog builds a log retaining at most capacity events.
+func newEventLog(capacity int) *eventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &eventLog{notify: make(chan struct{}), buf: make([]wireEvent, capacity)}
+}
+
+// append records one simulator event, reporting whether it was the
+// session's first.
+func (l *eventLog) append(e gfs.Event) (first bool) {
+	l.mu.Lock()
+	w := toWire(e, l.total)
+	if l.n == len(l.buf) {
+		l.head = (l.head + 1) % len(l.buf)
+		l.n--
+		l.dropped++
+	}
+	l.buf[(l.head+l.n)%len(l.buf)] = w
+	l.n++
+	l.total++
+	l.prog.Events = l.total
+	l.prog.DroppedEvents = l.dropped
+	l.prog.SimTimeS = int64(e.At)
+	switch e.Kind {
+	case gfs.TaskArrived:
+		l.prog.TasksArrived++
+	case gfs.TaskStarted:
+		l.prog.TasksStarted++
+	case gfs.TaskFinished:
+		l.prog.TasksFinished++
+	case gfs.TaskEvicted:
+		l.prog.TasksEvicted++
+	}
+	first = !l.hasFirst
+	if first {
+		l.hasFirst = true
+		l.firstAt = time.Now()
+	}
+	if l.armed {
+		close(l.notify)
+		l.notify = make(chan struct{})
+		l.armed = false
+	}
+	l.mu.Unlock()
+	return first
+}
+
+// read returns up to max events starting at cursor. gap counts events
+// the cursor missed (it resumes at the oldest retained one); next is
+// the cursor for the following read. With no events available it
+// returns a wait channel closed on the next append (or immediately
+// never, when the log is closed — check the closed flag).
+func (l *eventLog) read(cursor uint64, max int) (evs []wireEvent, next uint64, gap uint64, closed bool, wait <-chan struct{}) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	base := l.total - uint64(l.n)
+	if cursor > l.total {
+		cursor = l.total
+	}
+	if cursor < base {
+		gap = base - cursor
+		cursor = base
+	}
+	avail := int(l.total - cursor)
+	if avail == 0 {
+		if !l.closed {
+			l.armed = true
+		}
+		return nil, cursor, gap, l.closed, l.notify
+	}
+	if avail > max {
+		avail = max
+	}
+	evs = make([]wireEvent, avail)
+	start := l.head + int(cursor-base)
+	for i := range evs {
+		evs[i] = l.buf[(start+i)%len(l.buf)]
+	}
+	return evs, cursor + uint64(avail), gap, l.closed, nil
+}
+
+// close marks the stream complete (the session reached a terminal
+// state) and wakes any waiting readers.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	l.closed = true
+	if l.armed {
+		close(l.notify)
+		l.notify = make(chan struct{})
+		l.armed = false
+	}
+	l.mu.Unlock()
+}
+
+// progress snapshots the live counters.
+func (l *eventLog) progress() Progress {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.prog
+}
+
+// firstEventAt returns when the first event landed (zero time if none
+// yet).
+func (l *eventLog) firstEventAt() time.Time {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.hasFirst {
+		return time.Time{}
+	}
+	return l.firstAt
+}

@@ -1,0 +1,93 @@
+package service
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// errBusy rejects a submission when the backlog is full — the
+// service's admission control: clients get an immediate 503 instead
+// of an unbounded queue.
+var errBusy = errors.New("service: worker backlog full")
+
+// errDraining rejects submissions after drain started.
+var errDraining = errors.New("service: draining")
+
+// pool is the bounded shared worker pool sessions run on: a fixed
+// worker count bounds simulation concurrency (and so memory), a
+// bounded backlog bounds queueing.
+type pool struct {
+	jobs    chan func()
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	pending atomic.Int64
+	running atomic.Int64
+}
+
+// newPool starts workers goroutines draining a backlog-sized queue.
+func newPool(workers, backlog int) *pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if backlog < 0 {
+		backlog = 0
+	}
+	p := &pool{jobs: make(chan func(), backlog)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for job := range p.jobs {
+				p.pending.Add(-1)
+				p.running.Add(1)
+				job()
+				p.running.Add(-1)
+			}
+		}()
+	}
+	return p
+}
+
+// submit enqueues a job without blocking: errBusy when the backlog is
+// full, errDraining after drain.
+func (p *pool) submit(job func()) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return errDraining
+	}
+	select {
+	case p.jobs <- job:
+		p.pending.Add(1)
+		return nil
+	default:
+		return errBusy
+	}
+}
+
+// drain stops intake, runs every queued job, and waits for the
+// workers to exit. Callers wanting bounded drain time cancel the
+// sessions' parent context first (or on a timer), which makes queued
+// jobs finish as cancelled almost immediately.
+func (p *pool) drain() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.jobs)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// queueDepth is the number of submitted jobs not yet picked up.
+func (p *pool) queueDepth() int64 {
+	if n := p.pending.Load(); n > 0 {
+		return n
+	}
+	return 0
+}
+
+// active is the number of jobs currently executing.
+func (p *pool) active() int64 { return p.running.Load() }

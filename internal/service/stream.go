@@ -1,0 +1,106 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// streamBatch bounds how many events one read drains before flushing
+// to the client — large enough to amortize syscalls, small enough to
+// keep the stream live.
+const streamBatch = 512
+
+// handleEvents streams a session's events as they happen.
+//
+//	?format=ndjson (default) | sse   encoding; Accept: text/event-stream
+//	                                  also selects SSE
+//	?from=N                          resume from stream sequence N
+//	?follow=false                    dump what's buffered and return
+//
+// The stream ends when the session reaches a terminal state (or, with
+// follow=false, when the buffer is drained). A client that reads too
+// slowly and falls off the session's bounded ring receives a
+// synthetic {"kind":"gap","dropped":N} record and resumes from the
+// oldest retained event — the daemon never blocks the simulation on a
+// slow consumer.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.session(w, r)
+	if !ok {
+		return
+	}
+	q := r.URL.Query()
+	sse := q.Get("format") == "sse" ||
+		(q.Get("format") == "" && strings.Contains(r.Header.Get("Accept"), "text/event-stream"))
+	if f := q.Get("format"); f != "" && f != "sse" && f != "ndjson" {
+		httpError(w, http.StatusBadRequest, "unknown stream format %q (valid: ndjson, sse)", f)
+		return
+	}
+	follow := q.Get("follow") != "false"
+	var cursor uint64
+	if from := q.Get("from"); from != "" {
+		v, err := strconv.ParseUint(from, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad from %q", from)
+			return
+		}
+		cursor = v
+	}
+
+	if sse {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.Header().Set("Cache-Control", "no-cache")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.WriteHeader(http.StatusOK)
+	flusher, canFlush := w.(http.Flusher)
+	flush := func() {
+		if canFlush {
+			flusher.Flush()
+		}
+	}
+	emit := func(e wireEvent) error {
+		data, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		if sse {
+			_, err = fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, data)
+			return err
+		}
+		_, err = w.Write(append(data, '\n'))
+		return err
+	}
+
+	flush() // push headers out so clients see the stream open
+	for {
+		evs, next, gap, closed, wait := sess.log.read(cursor, streamBatch)
+		if gap > 0 {
+			first := next - uint64(len(evs))
+			if err := emit(wireEvent{Seq: first, Kind: "gap", Dropped: gap}); err != nil {
+				return
+			}
+		}
+		for _, e := range evs {
+			if err := emit(e); err != nil {
+				return
+			}
+		}
+		cursor = next
+		if len(evs) > 0 {
+			flush()
+			continue
+		}
+		if closed || !follow {
+			return
+		}
+		select {
+		case <-wait:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

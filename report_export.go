@@ -284,9 +284,16 @@ func promValue(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
 // samples flattens the report into metric samples, tagging each with
 // the member label when set.
 func (r *Report) samples(member string) []promSample {
+	return r.labeledSamples("member", member)
+}
+
+// labeledSamples flattens the report into metric samples, prepending
+// the given label pair to every sample (skipped when value is empty,
+// per promLabels).
+func (r *Report) labeledSamples(labelKey, labelValue string) []promSample {
 	var out []promSample
 	add := func(name string, value float64, labels ...string) {
-		labels = append([]string{"member", member}, labels...)
+		labels = append([]string{labelKey, labelValue}, labels...)
 		out = append(out, promSample{name: name, labels: promLabels(labels...), value: value})
 	}
 	add("gfs_run_end_seconds", float64(r.End))
@@ -375,6 +382,34 @@ func writeProm(w io.Writer, samples []promSample) error {
 // snapshot: gauges for every section, grouped by metric family.
 func (r *Report) WritePrometheus(w io.Writer) error {
 	return writeProm(w, r.samples(""))
+}
+
+// LabeledReport pairs a report with the label value identifying its
+// samples in a merged Prometheus snapshot (see WritePrometheusLabeled).
+// A federation run contributes its Aggregate report.
+type LabeledReport struct {
+	// Label is the label value tagging this report's samples.
+	Label string
+	// Report is the report to flatten; nil entries are skipped.
+	Report *Report
+}
+
+// WritePrometheusLabeled renders several reports as ONE Prometheus
+// text snapshot: samples from every report are merged into shared
+// metric families (one HELP/TYPE header each), with labelKey
+// distinguishing their origin. Concatenating per-report snapshots
+// would repeat family headers, which the text exposition format
+// forbids — this is the export a multi-session service needs for a
+// combined /metrics page.
+func WritePrometheusLabeled(w io.Writer, labelKey string, reports []LabeledReport) error {
+	var samples []promSample
+	for _, lr := range reports {
+		if lr.Report == nil {
+			continue
+		}
+		samples = append(samples, lr.Report.labeledSamples(labelKey, lr.Label)...)
+	}
+	return writeProm(w, samples)
 }
 
 // WritePrometheus renders the federation report as one snapshot: the
