@@ -39,11 +39,29 @@ func benchFcScale() experiments.FcScale {
 	return experiments.FcScale{Weeks: 2, L: 48, H: 6, DeepEpochs: 2, LinearEpochs: 15, Seed: 9}
 }
 
+// sim10KScale sizes the hardware-limit benchmark: a 10,000-node
+// (80,000-GPU) pool over a seven-day diurnal trace. Offered loads are
+// scaled down so the trace stays in the low thousands of pods — the
+// benchmark bounds the engine's fixed per-event and per-placement
+// machinery (calendar queue, flat node tables, O(nodes) scoring scans)
+// at production node counts, not queueing behaviour under contention.
+func sim10KScale() experiments.SimScale {
+	s := experiments.SmallScale()
+	s.Nodes = 10000
+	s.Days = 7
+	s.HPLoad = 0.003
+	s.SpotLoad = 0.00075
+	s.GangScale = 4
+	s.MaxTaskDuration = 24 * gfs.Hour
+	return s
+}
+
 // benchSim drives the simulator hot loop through the Engine API over
 // a one-day 128-GPU trace. The zero-observer variant is the baseline
 // the event spine must not slow down.
 func benchSim(b *testing.B, obs []gfs.Observer) {
 	b.Helper()
+	b.ReportAllocs()
 	scale := benchFigScale()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
@@ -62,7 +80,11 @@ func benchSim(b *testing.B, obs []gfs.Observer) {
 }
 
 // BenchmarkSim measures the simulator with zero observers registered
-// (the event spine must cost nothing here).
+// (the event spine must cost nothing here). Its ns/op and allocs/op
+// medians are both gated by internal/ci/benchgate: the allocation
+// count is the regression tripwire for the pooled hot path (event
+// records, transactions, placement registries), since a dropped pool
+// shows up as an allocs/op jump even on foreign hardware.
 func BenchmarkSim(b *testing.B) { benchSim(b, nil) }
 
 // BenchmarkFederation measures the federated loop: a two-member
@@ -153,6 +175,28 @@ func BenchmarkReport(b *testing.B) {
 		if i == b.N-1 {
 			b.ReportMetric(float64(buf.Len()), "reportBytes")
 			b.ReportMetric(100*rep.Summary.AllocationRate, "allocPct")
+		}
+	}
+}
+
+// BenchmarkSim10K drives one full run at production node count: the
+// sim10KScale pool under YARN-CS. It is the scale gate of the hot-path
+// rewrite — a single op must stay under two seconds (see
+// docs/performance.md), which only holds while per-event costs stay
+// flat in cluster size.
+func BenchmarkSim10K(b *testing.B) {
+	scale := sim10KScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tasks := scale.Trace(1)
+		eng := gfs.NewEngine(gfs.NewCluster("A100", scale.Nodes, scale.GPUsPerNode),
+			gfs.WithScheduler(gfs.NewYARNCS()))
+		b.StartTimer()
+		res := eng.Run(tasks)
+		if i == b.N-1 {
+			b.ReportMetric(float64(len(tasks)), "tasks")
+			b.ReportMetric(100*res.AllocationRate, "allocPct")
 		}
 	}
 }

@@ -33,10 +33,11 @@ func fcfsLess(a, b *task.Task) bool {
 // committed decision or rolls back.
 func placeBy(ctx *sched.Context, tk *task.Task, score func(n *cluster.Node) float64) (*sched.Decision, error) {
 	txn := ctx.State.Begin()
+	nodes := ctx.State.Cluster.NodesOfModel(tk.GPUModel)
 	for pod := 0; pod < tk.Pods; pod++ {
 		var best *cluster.Node
 		bestScore := 0.0
-		for _, n := range ctx.State.Cluster.NodesOfModel(tk.GPUModel) {
+		for _, n := range nodes {
 			if !n.CanFitPod(tk) {
 				continue
 			}

@@ -12,11 +12,29 @@ type Cluster struct {
 	nodes   []*Node
 	byModel map[string][]*Node
 	byID    map[int]*Node
+
+	// version counts occupancy mutations across all member nodes
+	// (bumped by Node.bump and AddNode); the aggregate cache below is
+	// valid while it holds still. It starts at 1 so the zero
+	// aggVersion always reads as stale.
+	version uint64
+
+	// upCapacity is the total card count over non-down nodes,
+	// maintained incrementally. Capacities are integers, so the
+	// running total is bit-identical to the scan it replaces no
+	// matter the order of updates.
+	upCapacity int
+
+	// Whole-cluster usage aggregates, recomputed lazily — in exactly
+	// the node-order fold the eager scans used, so the cached floats
+	// are bit-identical to recomputation — when version moves.
+	aggVersion              uint64
+	aggUsed, aggHP, aggSpot float64
 }
 
 // New builds an empty cluster.
 func New() *Cluster {
-	return &Cluster{byModel: make(map[string][]*Node), byID: make(map[int]*Node)}
+	return &Cluster{byModel: make(map[string][]*Node), byID: make(map[int]*Node), version: 1}
 }
 
 // NewHomogeneous builds a cluster of n nodes with gpusPerNode GPUs of
@@ -56,6 +74,11 @@ func (c *Cluster) AddNode(n *Node) {
 	c.nodes = append(c.nodes, n)
 	c.byModel[n.Model] = append(c.byModel[n.Model], n)
 	c.byID[n.ID] = n
+	n.owner = c
+	if !n.down {
+		c.upCapacity += n.Capacity()
+	}
+	c.version++
 }
 
 // AddPool grows the cluster by a pool of fresh nodes, numbering them
@@ -216,9 +239,36 @@ func (c *Cluster) Models() []string {
 	return out
 }
 
+// refreshAgg recomputes the whole-cluster usage aggregates if any
+// node changed since the last computation. The three sums fold over
+// nodes in slice order with the same per-node expressions the
+// per-call scans used — used accumulates hpUsed+spotUsed node by
+// node, not aggHP+aggSpot — so caching never shifts a single ULP.
+func (c *Cluster) refreshAgg() {
+	if c.aggVersion == c.version {
+		return
+	}
+	used, hp, spot := 0.0, 0.0, 0.0
+	for _, n := range c.nodes {
+		if n.down {
+			continue
+		}
+		used += n.hpUsed + n.spotUsed
+		hp += n.hpUsed
+		spot += n.spotUsed
+	}
+	c.aggUsed, c.aggHP, c.aggSpot = used, hp, spot
+	c.aggVersion = c.version
+}
+
 // TotalGPUs returns the cluster capacity C, optionally restricted to
 // one model. Down nodes contribute nothing.
 func (c *Cluster) TotalGPUs(model string) float64 {
+	if model == "" {
+		// Integer card counts sum exactly in float64, so the
+		// incremental total matches the scan bit-for-bit.
+		return float64(c.upCapacity)
+	}
 	total := 0.0
 	for _, n := range c.NodesOfModel(model) {
 		if n.Down() {
@@ -232,6 +282,10 @@ func (c *Cluster) TotalGPUs(model string) float64 {
 // UsedGPUs returns currently allocated capacity, optionally
 // restricted to one model.
 func (c *Cluster) UsedGPUs(model string) float64 {
+	if model == "" {
+		c.refreshAgg()
+		return c.aggUsed
+	}
 	u := 0.0
 	for _, n := range c.NodesOfModel(model) {
 		if n.Down() {
@@ -250,6 +304,10 @@ func (c *Cluster) IdleGPUs(model string) float64 {
 
 // SpotGPUs returns capacity held by spot tasks.
 func (c *Cluster) SpotGPUs(model string) float64 {
+	if model == "" {
+		c.refreshAgg()
+		return c.aggSpot
+	}
 	u := 0.0
 	for _, n := range c.NodesOfModel(model) {
 		if n.Down() {
@@ -262,6 +320,10 @@ func (c *Cluster) SpotGPUs(model string) float64 {
 
 // HPGPUs returns capacity held by HP tasks.
 func (c *Cluster) HPGPUs(model string) float64 {
+	if model == "" {
+		c.refreshAgg()
+		return c.aggHP
+	}
 	u := 0.0
 	for _, n := range c.NodesOfModel(model) {
 		if n.Down() {

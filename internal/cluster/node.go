@@ -18,16 +18,35 @@ import (
 // allocation request.
 var ErrInsufficient = errors.New("cluster: insufficient GPU capacity")
 
+// share is one task's slice of a card.
+type share struct {
+	taskID int
+	frac   float64
+}
+
 // gpu is the state of a single card.
 type gpu struct {
 	// used is the allocated fraction in [0,1].
 	used float64
-	// shares maps taskID → fraction for fractional tenants; whole
-	// cards have exactly one share of 1.0.
-	shares map[int]float64
+	// shares lists taskID → fraction for fractional tenants; whole
+	// cards have exactly one share of 1.0. A small slice beats a map
+	// here: cards host at most a handful of tenants, and the
+	// placement hot path iterates shares far more often than it
+	// mutates them.
+	shares []share
 	// spot reports whether the current tenants are spot tasks.
 	// HP and spot never share one card.
 	spot bool
+}
+
+// shareOf returns the fraction held by taskID, or -1.
+func (g *gpu) shareOf(taskID int) (int, float64) {
+	for i := range g.shares {
+		if g.shares[i].taskID == taskID {
+			return i, g.shares[i].frac
+		}
+	}
+	return -1, 0
 }
 
 // Node is one machine with a fixed number of identical GPUs.
@@ -45,6 +64,19 @@ type Node struct {
 	// Aggregates, maintained incrementally.
 	hpUsed   float64
 	spotUsed float64
+	// wholeFree counts cards with used == 0, kept in lockstep with
+	// gpus so WholeFreeGPUs — the whole-card admission test run for
+	// every node on every placement — is O(1) instead of a card scan.
+	wholeFree int
+
+	// version counts occupancy mutations (placements, releases,
+	// up/down transitions). Schedulers and the cluster's aggregate
+	// cache key derived values on it, re-computing only for nodes
+	// whose capacity actually changed.
+	version uint64
+	// owner is the cluster this node was added to, if any; occupancy
+	// mutations invalidate its aggregate cache.
+	owner *Cluster
 
 	// evictions records the times of past spot evictions on this
 	// node, oldest first, for the windowed rate of Eq. (15).
@@ -57,9 +89,11 @@ type Node struct {
 	// but keeps its running pods and stays in capacity totals.
 	cordoned bool
 
-	// podsByTask tracks how many pods of each task run here and
-	// the per-pod GPU request, so victims can be released.
-	podsByTask map[int]*podAlloc
+	// pods tracks how many pods of each task run here and the
+	// per-pod GPU request, so victims can be released. Sorted by
+	// task ID, which both makes lookups a binary search and lets
+	// Tasks/SpotTasks return deterministic order without sorting.
+	pods []podAlloc
 }
 
 type podAlloc struct {
@@ -69,8 +103,37 @@ type podAlloc struct {
 
 // NewNode creates a node with capacity GPUs of the given model.
 func NewNode(id int, model string, capacity int) *Node {
-	n := &Node{ID: id, Model: model, gpus: make([]gpu, capacity), podsByTask: make(map[int]*podAlloc)}
+	n := &Node{ID: id, Model: model, gpus: make([]gpu, capacity), wholeFree: capacity}
 	return n
+}
+
+// bump records an occupancy mutation on the node's version and
+// invalidates the owning cluster's aggregate cache.
+func (n *Node) bump() {
+	n.version++
+	if n.owner != nil {
+		n.owner.version++
+	}
+}
+
+// Version returns the node's occupancy version: it changes exactly
+// when the node's allocations or availability change, so cached
+// occupancy-derived scores can be reused while it holds still.
+func (n *Node) Version() uint64 { return n.version }
+
+// podIndex returns the position of taskID in the sorted pod table,
+// or the insertion point with found == false.
+func (n *Node) podIndex(taskID int) (int, bool) {
+	lo, hi := 0, len(n.pods)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if n.pods[mid].task.ID < taskID {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(n.pods) && n.pods[lo].task.ID == taskID
 }
 
 // Capacity returns the number of physical GPUs.
@@ -89,6 +152,16 @@ func (n *Node) Schedulable() bool { return !n.down && !n.cordoned }
 // SetDown marks the node failed or restores it. Callers must release
 // the node's tasks before failing it; restoring also clears a cordon.
 func (n *Node) SetDown(down bool) {
+	if n.down != down {
+		if n.owner != nil {
+			if down {
+				n.owner.upCapacity -= len(n.gpus)
+			} else {
+				n.owner.upCapacity += len(n.gpus)
+			}
+		}
+		n.bump()
+	}
 	n.down = down
 	if !down {
 		n.cordoned = false
@@ -110,13 +183,7 @@ func (n *Node) WholeFreeGPUs() int {
 	if !n.Schedulable() {
 		return 0
 	}
-	c := 0
-	for i := range n.gpus {
-		if n.gpus[i].used == 0 {
-			c++
-		}
-	}
-	return c
+	return n.wholeFree
 }
 
 // WholeFreeGPUsExcluding counts the cards that would be completely
@@ -139,8 +206,8 @@ func (n *Node) WholeFreeGPUsExcluding(victims map[int]bool) int {
 			continue
 		}
 		all := true
-		for id := range g.shares {
-			if !victims[id] {
+		for _, sh := range g.shares {
+			if !victims[sh.taskID] {
 				all = false
 				break
 			}
@@ -174,17 +241,17 @@ func (n *Node) CanFitPod(tk *task.Task) bool {
 	if g < 1 {
 		// A fractional pod fits on a fully idle card or shares a
 		// card already fractionally used by the same class.
+		if n.wholeFree > 0 {
+			return true
+		}
 		for i := range n.gpus {
-			if n.gpus[i].used == 0 {
-				return true
-			}
 			if n.gpus[i].used+g <= 1+1e-9 && n.gpus[i].spot == (tk.Type == task.Spot) && n.gpus[i].used < 1 {
 				return true
 			}
 		}
 		return false
 	}
-	return n.WholeFreeGPUs() >= int(g)
+	return n.wholeFree >= int(g)
 }
 
 // PlacePod allocates the GPUs for one pod of tk. It returns
@@ -218,7 +285,7 @@ func (n *Node) PlacePod(tk *task.Task) error {
 		n.addShare(idx, tk.ID, g, isSpot)
 	} else {
 		need := int(g)
-		if n.WholeFreeGPUs() < need {
+		if n.wholeFree < need {
 			return ErrInsufficient
 		}
 		placed := 0
@@ -232,49 +299,61 @@ func (n *Node) PlacePod(tk *task.Task) error {
 			}
 		}
 	}
-	pa := n.podsByTask[tk.ID]
-	if pa == nil {
-		pa = &podAlloc{task: tk}
-		n.podsByTask[tk.ID] = pa
+	if i, ok := n.podIndex(tk.ID); ok {
+		n.pods[i].pods++
+	} else {
+		n.pods = append(n.pods, podAlloc{})
+		copy(n.pods[i+1:], n.pods[i:])
+		n.pods[i] = podAlloc{task: tk, pods: 1}
 	}
-	pa.pods++
 	if isSpot {
 		n.spotUsed += g
 	} else {
 		n.hpUsed += g
 	}
+	n.bump()
 	return nil
 }
 
 func (n *Node) addShare(i, taskID int, frac float64, spot bool) {
-	if n.gpus[i].shares == nil {
-		n.gpus[i].shares = make(map[int]float64)
+	g := &n.gpus[i]
+	if g.used == 0 {
+		n.wholeFree--
 	}
-	n.gpus[i].shares[taskID] += frac
-	n.gpus[i].used += frac
-	if n.gpus[i].used > 1 {
-		n.gpus[i].used = 1
+	if j, _ := g.shareOf(taskID); j >= 0 {
+		g.shares[j].frac += frac
+	} else {
+		g.shares = append(g.shares, share{taskID: taskID, frac: frac})
 	}
-	n.gpus[i].spot = spot
+	g.used += frac
+	if g.used > 1 {
+		g.used = 1
+	}
+	g.spot = spot
 }
 
 // ReleaseTask frees all pods of the given task on this node. It
 // reports whether the task held any GPUs here.
 func (n *Node) ReleaseTask(tk *task.Task) bool {
-	pa := n.podsByTask[tk.ID]
-	if pa == nil {
+	pi, ok := n.podIndex(tk.ID)
+	if !ok {
 		return false
 	}
 	for i := range n.gpus {
-		if frac, ok := n.gpus[i].shares[tk.ID]; ok {
-			n.gpus[i].used -= frac
-			if n.gpus[i].used < 1e-12 {
-				n.gpus[i].used = 0
+		g := &n.gpus[i]
+		if j, frac := g.shareOf(tk.ID); j >= 0 {
+			g.used -= frac
+			if g.used < 1e-12 {
+				g.used = 0
+				n.wholeFree++
 			}
-			delete(n.gpus[i].shares, tk.ID)
+			// Order within shares carries no meaning, so swap-remove.
+			last := len(g.shares) - 1
+			g.shares[j] = g.shares[last]
+			g.shares = g.shares[:last]
 		}
 	}
-	total := float64(pa.pods) * tk.GPUsPerPod
+	total := float64(n.pods[pi].pods) * tk.GPUsPerPod
 	if tk.Type == task.Spot {
 		n.spotUsed -= total
 		if n.spotUsed < 1e-12 {
@@ -286,14 +365,16 @@ func (n *Node) ReleaseTask(tk *task.Task) bool {
 			n.hpUsed = 0
 		}
 	}
-	delete(n.podsByTask, tk.ID)
+	copy(n.pods[pi:], n.pods[pi+1:])
+	n.pods = n.pods[:len(n.pods)-1]
+	n.bump()
 	return true
 }
 
 // PodsOf returns the number of pods of task id on this node.
 func (n *Node) PodsOf(id int) int {
-	if pa := n.podsByTask[id]; pa != nil {
-		return pa.pods
+	if i, ok := n.podIndex(id); ok {
+		return n.pods[i].pods
 	}
 	return 0
 }
@@ -302,22 +383,20 @@ func (n *Node) PodsOf(id int) int {
 // sorted by task ID for determinism.
 func (n *Node) SpotTasks() []*task.Task {
 	var out []*task.Task
-	for _, pa := range n.podsByTask {
-		if pa.task.Type == task.Spot {
-			out = append(out, pa.task)
+	for i := range n.pods {
+		if n.pods[i].task.Type == task.Spot {
+			out = append(out, n.pods[i].task)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
 // Tasks returns all tasks on this node sorted by ID.
 func (n *Node) Tasks() []*task.Task {
-	var out []*task.Task
-	for _, pa := range n.podsByTask {
-		out = append(out, pa.task)
+	out := make([]*task.Task, len(n.pods))
+	for i := range n.pods {
+		out[i] = n.pods[i].task
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -64,6 +64,23 @@ func DefaultConfig() Config {
 type Scheduler struct {
 	cfg       Config
 	blacklist map[int]simclock.Time // node ID → blacklisted until
+
+	// scoreCache memoizes the occupancy-derived criteria (Eqs. 13–14)
+	// per node, keyed on the node's occupancy version: a scheduling
+	// pass re-scores only the nodes whose free capacity changed since
+	// the last look (its dirty set) instead of recomputing every node
+	// for every pod. Indexed by node ID; grown on demand.
+	scoreCache []cachedScore
+}
+
+// cachedScore holds a node's packing score (Eq. 13) and both class
+// variants of the co-location score (Eq. 14). version stores the
+// node's occupancy version plus one, so the zero value always reads
+// as stale.
+type cachedScore struct {
+	version    uint64
+	s1         float64
+	s2HP, s2SP float64
 }
 
 // New creates a PTS scheduler.
@@ -101,17 +118,31 @@ func (s *Scheduler) Schedule(ctx *sched.Context, tk *task.Task) (*sched.Decision
 	return nil, ErrUnschedulable
 }
 
-// scores evaluates the three criteria for a node.
+// scores evaluates the three criteria for a node. The occupancy
+// criteria (Eqs. 13–14) are pure functions of the node's allocation
+// state, served from the version-keyed cache when the node is clean;
+// eviction awareness (Eq. 16) depends on the clock and is always
+// evaluated fresh.
 func (s *Scheduler) scores(ctx *sched.Context, n *cluster.Node, tk *task.Task) (s1, s2, s3 float64) {
-	total := float64(n.Capacity())
-	// Criterion 1 (Eq. 13): prefer packed nodes.
-	s1 = 1 - n.IdleGPUs()/total
-	// Criterion 2 (Eq. 14): homogeneous co-location.
+	for n.ID >= len(s.scoreCache) {
+		s.scoreCache = append(s.scoreCache, cachedScore{})
+	}
+	c := &s.scoreCache[n.ID]
+	if c.version != n.Version()+1 {
+		total := float64(n.Capacity())
+		// Criterion 1 (Eq. 13): prefer packed nodes.
+		c.s1 = 1 - n.IdleGPUs()/total
+		// Criterion 2 (Eq. 14): homogeneous co-location.
+		c.s2HP = n.HPGPUs() / total
+		c.s2SP = n.SpotGPUs() / total
+		c.version = n.Version() + 1
+	}
+	s1 = c.s1
 	if !s.cfg.DisableCoLocation {
 		if tk.Type == task.HP {
-			s2 = n.HPGPUs() / total
+			s2 = c.s2HP
 		} else {
-			s2 = n.SpotGPUs() / total
+			s2 = c.s2SP
 		}
 	}
 	// Criterion 3 (Eq. 16): eviction awareness with asymmetric
@@ -164,9 +195,14 @@ func (s *Scheduler) nonPreemptive(ctx *sched.Context, tk *task.Task) (*sched.Dec
 	return txn.Commit(), nil
 }
 
-// bestNode filters and scores candidates for one pod.
+// bestNode filters and scores candidates for one pod, keeping the
+// single maximum of the lexicographic (score1, score2, score3,
+// lowest-ID) order in one pass. The comparator is exactly the one the
+// former sort used, and node-ID tie-breaking makes it a total order,
+// so the argmax equals the sorted head.
 func (s *Scheduler) bestNode(ctx *sched.Context, tk *task.Task) *cluster.Node {
-	var cands []scored
+	colocFirst := s.cfg.CoLocationFirst
+	var best scored
 	for _, n := range ctx.State.Cluster.NodesOfModel(tk.GPUModel) {
 		if !n.CanFitPod(tk) {
 			continue
@@ -184,32 +220,33 @@ func (s *Scheduler) bestNode(ctx *sched.Context, tk *task.Task) *cluster.Node {
 				continue
 			}
 		}
-		cands = append(cands, scored{node: n, s1: s1, s2: s2, s3: s3})
+		cand := scored{node: n, s1: s1, s2: s2, s3: s3}
+		if best.node == nil || scoredBetter(&cand, &best, colocFirst) {
+			best = cand
+		}
 	}
-	if len(cands) == 0 {
-		return nil
+	return best.node
+}
+
+// scoredBetter reports whether a precedes b in the node preference
+// order.
+func scoredBetter(a, b *scored, colocFirst bool) bool {
+	first, second := a.s1, a.s2
+	firstB, secondB := b.s1, b.s2
+	if colocFirst {
+		first, second = a.s2, a.s1
+		firstB, secondB = b.s2, b.s1
 	}
-	colocFirst := s.cfg.CoLocationFirst
-	sort.Slice(cands, func(i, j int) bool {
-		a, b := cands[i], cands[j]
-		first, second := a.s1, a.s2
-		firstB, secondB := b.s1, b.s2
-		if colocFirst {
-			first, second = a.s2, a.s1
-			firstB, secondB = b.s2, b.s1
-		}
-		if first != firstB {
-			return first > firstB
-		}
-		if second != secondB {
-			return second > secondB
-		}
-		if a.s3 != b.s3 {
-			return a.s3 > b.s3
-		}
-		return a.node.ID < b.node.ID
-	})
-	return cands[0].node
+	if first != firstB {
+		return first > firstB
+	}
+	if second != secondB {
+		return second > secondB
+	}
+	if a.s3 != b.s3 {
+		return a.s3 > b.s3
+	}
+	return a.node.ID < b.node.ID
 }
 
 // preemptive implements Algorithm 2: per pod, evaluate every node's

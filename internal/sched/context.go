@@ -88,7 +88,7 @@ func RunFederationContext(ctx context.Context, cfg FedConfig, tasks []*task.Task
 	}
 	f.ctx = ctx
 	for _, tk := range tasks {
-		f.queue.PushFront(tk.Submit, fedArrival{tk: tk})
+		f.queue.PushFront(tk.Submit, tk)
 	}
 	if err := f.loop(); err != nil {
 		return nil, err

@@ -319,11 +319,10 @@ func (r *FedResult) Member(name string) *MemberResult {
 	return nil
 }
 
-// fedArrival and fedMigration are the federation-level queue events:
-// a task reaching its submission time, and a spilled task reaching
-// its new member after the migration delay.
-type fedArrival struct{ tk *task.Task }
-
+// Federation-level queue events: an arriving task rides as a bare
+// *task.Task (allocation-free boxing, like the member simulators'
+// arrivals); fedMigration is a spilled task reaching its new member
+// after the migration delay.
 type fedMigration struct {
 	tk       *task.Task
 	from, to int
@@ -455,7 +454,7 @@ func (f *fedSim) refill() error {
 		if err := f.feed.pull(); err != nil {
 			return err
 		}
-		f.queue.PushFront(tk.Submit, fedArrival{tk: tk})
+		f.queue.PushFront(tk.Submit, tk)
 	}
 	return nil
 }
@@ -485,13 +484,14 @@ func (f *fedSim) loop() error {
 		}
 		f.now = t
 		for {
-			ev := f.queue.Peek()
-			if ev == nil || ev.At != t {
+			ev, ok := f.queue.Peek()
+			if !ok || ev.At != t {
 				break
 			}
-			switch e := f.queue.Pop().Value.(type) {
-			case fedArrival:
-				f.route(e.tk)
+			ev, _ = f.queue.Pop()
+			switch e := ev.Value.(type) {
+			case *task.Task:
+				f.route(e)
 			case fedMigration:
 				f.deliver(e)
 			}
@@ -513,7 +513,7 @@ func (f *fedSim) loop() error {
 func (f *fedSim) nextTime() (simclock.Time, bool) {
 	var best simclock.Time
 	found := false
-	if ev := f.queue.Peek(); ev != nil {
+	if ev, ok := f.queue.Peek(); ok {
 		best, found = ev.At, true
 	}
 	for _, m := range f.members {

@@ -100,8 +100,10 @@ type RuntimeInflater interface {
 	InflateRuntime(tk *task.Task) simclock.Duration
 }
 
-type arrivalEvent struct{ tk *task.Task }
-
+// Event payloads. Arrivals ride as a bare *task.Task (no wrapper, so
+// pushing one allocates nothing); finishes as pooled *finishEvent
+// records recycled after delivery; ticks as a zero-size marker whose
+// boxing is allocation-free.
 type finishEvent struct {
 	tk    *task.Task
 	epoch int
@@ -131,7 +133,6 @@ type Simulator struct {
 	alloc        *stats.AllocationTracker
 	tasks        []*task.Task
 	orgDemand    map[string][]float64
-	hourAccum    map[string]float64
 	hourSamples  int
 	lastHour     int
 	lastProgress simclock.Time
@@ -159,6 +160,59 @@ type Simulator struct {
 	// no longer count toward this simulator's demand or results.
 	known    map[int]bool
 	migrated map[int]bool
+
+	// finishFree recycles finishEvent records: one is allocated per
+	// concurrent running task at steady state, then reused for the
+	// rest of the run.
+	finishFree []*finishEvent
+
+	// hpLive is the demand-sampling view: the HP tasks of s.tasks,
+	// in s.tasks order, with finished tasks compacted away. Keeping
+	// the original order matters — per-org demand accumulates in
+	// iteration order, and floating-point addition is not
+	// associative, so any reordering could drift the quota signal.
+	// hpLiveStale forces a rebuild from s.tasks (set by Inject,
+	// whose re-injections can resurrect tasks already compacted).
+	hpLive      []*task.Task
+	hpLiveStale bool
+	// hpOrg holds each hpLive task's org slot, so the per-tick demand
+	// accumulation indexes a flat array instead of hashing org strings.
+	// Slots are assigned per distinct org name in order of first
+	// appearance: orgNames/hourAccum/hourTouched are parallel arrays,
+	// orgSlots the name → slot index. The per-org sequence of
+	// floating-point adds is unchanged from the map it replaces, so
+	// the hourly averages are bit-identical.
+	hpOrg       []int
+	orgSlots    map[string]int
+	orgNames    []string
+	hourAccum   []float64
+	hourTouched []bool
+	// hpSorted records whether hpLive is nondecreasing in Submit (true
+	// for generated traces; mid-run injection can break it), and
+	// hpFrontier is then the count of leading tasks with Submit ≤ now.
+	// Tasks beyond the frontier have not arrived, cannot be running or
+	// finished, and contribute nothing to demand, so each tick walks
+	// only the arrived prefix instead of the whole trace tail.
+	hpSorted   bool
+	hpFrontier int
+
+	// failedShapes is the scheduling pass's failed-shape set, reused
+	// across passes. Passes see few distinct failed shapes (bounded
+	// by MaxFailuresPerPass), so a linear scan beats a fresh map.
+	failedShapes []taskShape
+}
+
+// newFinishEvent takes a finish record from the pool (or allocates
+// one). Records return to the pool in handle, immediately after the
+// queue delivers them.
+func (s *Simulator) newFinishEvent(tk *task.Task, epoch int) *finishEvent {
+	if n := len(s.finishFree); n > 0 {
+		e := s.finishFree[n-1]
+		s.finishFree = s.finishFree[:n-1]
+		e.tk, e.epoch = tk, epoch
+		return e
+	}
+	return &finishEvent{tk: tk, epoch: epoch}
 }
 
 type queueObs struct {
@@ -178,6 +232,16 @@ type taskShape struct {
 
 func shapeOfTask(tk *task.Task) taskShape {
 	return taskShape{typ: tk.Type, pods: tk.Pods, gpusPerPod: tk.GPUsPerPod, model: tk.GPUModel}
+}
+
+// shapeFailed reports whether shape already failed this pass.
+func (s *Simulator) shapeFailed(shape taskShape) bool {
+	for i := range s.failedShapes {
+		if s.failedShapes[i] == shape {
+			return true
+		}
+	}
+	return false
 }
 
 // Run executes the simulation over the given trace and returns the
@@ -213,8 +277,10 @@ func NewSimulator(cfg SimConfig, tasks []*task.Task) *Simulator {
 		alloc:     stats.NewAllocationTracker(cfg.Cluster.TotalGPUs("")),
 		tasks:     tasks,
 		orgDemand: make(map[string][]float64),
-		hourAccum: make(map[string]float64),
+		orgSlots:  make(map[string]int),
 		lastHour:  -1,
+		// Built lazily on the first demand tick.
+		hpLiveStale: true,
 	}
 	for org, hist := range cfg.InitialOrgDemand {
 		s.orgDemand[org] = append([]float64(nil), hist...)
@@ -228,7 +294,7 @@ func NewSimulator(cfg SimConfig, tasks []*task.Task) *Simulator {
 	// mid-run by a federation router or the streaming replay loop,
 	// which therefore tie-break exactly like a preloaded trace.
 	for _, tk := range tasks {
-		s.queue.PushFront(tk.Submit, arrivalEvent{tk: tk})
+		s.queue.PushFront(tk.Submit, tk)
 	}
 	// Scenario actions join the same queue in the normal class.
 	// Against finish events the tie-break goes the other way:
@@ -254,8 +320,8 @@ func NewSimulator(cfg SimConfig, tasks []*task.Task) *Simulator {
 // when the simulation has run dry. It is how a federated loop decides
 // which member advances next.
 func (s *Simulator) PeekTime() (simclock.Time, bool) {
-	ev := s.queue.Peek()
-	if ev == nil {
+	ev, ok := s.queue.Peek()
+	if !ok {
 		return 0, false
 	}
 	return ev.At, true
@@ -273,19 +339,20 @@ func (s *Simulator) PendingTasks() int { return len(s.pending) }
 // earliest pending timestamp, followed by at most one scheduling pass
 // — and reports whether any event was processed.
 func (s *Simulator) Step() bool {
-	ev := s.queue.Pop()
-	if ev == nil {
+	ev, ok := s.queue.Pop()
+	if !ok {
 		return false
 	}
 	s.now = ev.At
 	scheduleNeeded := s.handle(ev)
 	// Drain events sharing this timestamp before scheduling.
 	for {
-		next := s.queue.Peek()
-		if next == nil || next.At != s.now {
+		next, ok := s.queue.Peek()
+		if !ok || next.At != s.now {
 			break
 		}
-		if s.handle(s.queue.Pop()) {
+		ev, _ = s.queue.Pop()
+		if s.handle(ev) {
 			scheduleNeeded = true
 		}
 	}
@@ -313,7 +380,12 @@ func (s *Simulator) Inject(tk *task.Task, at simclock.Time) {
 		s.tasks = append(s.tasks, tk)
 	}
 	delete(s.migrated, tk.ID)
-	s.queue.PushFront(at, arrivalEvent{tk: tk})
+	if tk.Type == task.HP {
+		// The task may have been compacted out of the demand view
+		// after migrating away; rebuild it from s.tasks.
+		s.hpLiveStale = true
+	}
+	s.queue.PushFront(at, tk)
 	if !s.quotaInit {
 		// First task ever seen: establish the initial quota before
 		// the first pass, as Run does for pre-loaded traces.
@@ -375,31 +447,34 @@ func (s *Simulator) emit(ev Event) {
 
 // handle processes one event and reports whether a scheduling pass
 // should follow.
-func (s *Simulator) handle(ev *simclock.Event) bool {
+func (s *Simulator) handle(ev simclock.Event) bool {
 	switch e := ev.Value.(type) {
-	case arrivalEvent:
-		e.tk.EnterQueue(s.now)
-		s.insertPending(e.tk)
+	case *task.Task: // arrival
+		e.EnterQueue(s.now)
+		s.insertPending(e)
 		s.lastProgress = s.now
 		if s.hasObs {
-			s.emit(Event{Kind: TaskArrived, Task: e.tk})
+			s.emit(Event{Kind: TaskArrived, Task: e})
 		}
 		return true
-	case finishEvent:
-		if s.epochs[e.tk.ID] != e.epoch || e.tk.State != task.Running {
+	case *finishEvent:
+		tk, epoch := e.tk, e.epoch
+		e.tk = nil
+		s.finishFree = append(s.finishFree, e)
+		if s.epochs[tk.ID] != epoch || tk.State != task.Running {
 			return false // stale: the run was preempted
 		}
-		s.state.ReleaseAll(e.tk)
-		e.tk.Finish(s.now)
+		s.state.ReleaseAll(tk)
+		tk.Finish(s.now)
 		s.running--
-		if e.tk.Type == task.Spot {
+		if tk.Type == task.Spot {
 			s.gCount++
 			s.evWindow.Record(s.now, false)
 		}
 		s.sampleAlloc()
 		s.lastProgress = s.now
 		if s.hasObs {
-			s.emit(Event{Kind: TaskFinished, Task: e.tk})
+			s.emit(Event{Kind: TaskFinished, Task: tk})
 		}
 		return true
 	case scenarioEvent:
@@ -431,38 +506,123 @@ func (s *Simulator) recordDemand() {
 	if hour != s.lastHour {
 		if s.lastHour >= 0 && s.hourSamples > 0 {
 			n := float64(s.hourSamples)
-			seen := make(map[string]bool, len(s.hourAccum))
-			for org, sum := range s.hourAccum {
-				s.orgDemand[org] = append(s.orgDemand[org], sum/n)
-				seen[org] = true
+			for i, org := range s.orgNames {
+				if s.hourTouched[i] {
+					s.orgDemand[org] = append(s.orgDemand[org], s.hourAccum[i]/n)
+				}
 			}
 			// Orgs with no samples this hour still advance
 			// their series.
 			for org := range s.orgDemand {
-				if !seen[org] {
-					s.orgDemand[org] = append(s.orgDemand[org], 0)
+				if i, ok := s.orgSlots[org]; ok && s.hourTouched[i] {
+					continue
 				}
+				s.orgDemand[org] = append(s.orgDemand[org], 0)
 			}
 		}
 		s.lastHour = hour
-		s.hourAccum = make(map[string]float64)
+		for i := range s.hourAccum {
+			s.hourAccum[i] = 0
+			s.hourTouched[i] = false
+		}
 		s.hourSamples = 0
 	}
 
-	for _, tk := range s.tasks {
-		if tk.Type != task.HP || s.migrated[tk.ID] {
+	if s.hpLiveStale {
+		s.rebuildHPLive()
+	}
+	// Accumulate over the live view, compacting finished tasks in
+	// place (they are terminal and contribute nothing). Relative
+	// order is preserved, so the per-org sums are bit-identical to a
+	// full scan of s.tasks.
+	//
+	// Only the arrived prefix needs visiting: a task that has not
+	// arrived cannot be running (it is scheduled only after its
+	// arrival event) or finished, so it contributes nothing and
+	// cannot be compacted. When hpLive is Submit-sorted that prefix
+	// is hpLive[:frontier]; otherwise the frontier spans everything.
+	frontier := len(s.hpLive)
+	if s.hpSorted {
+		for s.hpFrontier < len(s.hpLive) && s.hpLive[s.hpFrontier].Submit <= s.now {
+			s.hpFrontier++
+		}
+		frontier = s.hpFrontier
+	}
+	live := s.hpLive[:0]
+	liveOrg := s.hpOrg[:0]
+	for idx, tk := range s.hpLive[:frontier] {
+		if tk.State == task.Finished {
 			continue
 		}
-		switch tk.State {
-		case task.Running:
-			s.hourAccum[tk.Org] += tk.TotalGPUs()
-		case task.Pending:
-			if tk.Submit <= s.now {
-				s.hourAccum[tk.Org] += tk.TotalGPUs()
-			}
+		slot := s.hpOrg[idx]
+		live = append(live, tk)
+		liveOrg = append(liveOrg, slot)
+		if s.migrated[tk.ID] {
+			continue
+		}
+		if tk.State == task.Running || tk.Submit <= s.now {
+			s.hourAccum[slot] += tk.TotalGPUs()
+			s.hourTouched[slot] = true
 		}
 	}
+	kept := len(live)
+	if kept < frontier {
+		// Shift the unarrived tail down over the compacted gap.
+		live = append(live, s.hpLive[frontier:]...)
+		liveOrg = append(liveOrg, s.hpOrg[frontier:]...)
+	} else {
+		// Nothing compacted: the tail is already in place.
+		live = s.hpLive
+		liveOrg = s.hpOrg
+	}
+	s.hpFrontier = kept
+	clearTasks(s.hpLive[len(live):])
+	s.hpLive = live
+	s.hpOrg = liveOrg
 	s.hourSamples++
+}
+
+// clearTasks zeroes a compacted-away tail so it doesn't pin tasks.
+func clearTasks(ts []*task.Task) {
+	for i := range ts {
+		ts[i] = nil
+	}
+}
+
+// orgSlot returns org's accumulator slot, assigning one on first
+// sight.
+func (s *Simulator) orgSlot(org string) int {
+	if i, ok := s.orgSlots[org]; ok {
+		return i
+	}
+	i := len(s.orgNames)
+	s.orgNames = append(s.orgNames, org)
+	s.hourAccum = append(s.hourAccum, 0)
+	s.hourTouched = append(s.hourTouched, false)
+	s.orgSlots[org] = i
+	return i
+}
+
+// rebuildHPLive refreshes the demand view from s.tasks, keeping every
+// unfinished HP task in trace order.
+func (s *Simulator) rebuildHPLive() {
+	s.hpLive = s.hpLive[:0]
+	s.hpOrg = s.hpOrg[:0]
+	for _, tk := range s.tasks {
+		if tk.Type == task.HP && tk.State != task.Finished {
+			s.hpLive = append(s.hpLive, tk)
+			s.hpOrg = append(s.hpOrg, s.orgSlot(tk.Org))
+		}
+	}
+	s.hpSorted = true
+	for i := 1; i < len(s.hpLive); i++ {
+		if s.hpLive[i].Submit < s.hpLive[i-1].Submit {
+			s.hpSorted = false
+			break
+		}
+	}
+	s.hpFrontier = 0
+	s.hpLiveStale = false
 }
 
 func (s *Simulator) updateQuota() {
@@ -789,13 +949,13 @@ func (s *Simulator) schedulePass() {
 	// this pass is skipped until a success mutates the state. This
 	// lets small tasks backfill past blocked large ones without
 	// rescanning the cluster for every queue entry.
-	failedShapes := make(map[taskShape]bool)
+	s.failedShapes = s.failedShapes[:0]
 	for _, tk := range snapshot {
 		if tk.State != task.Pending {
 			continue
 		}
 		shape := shapeOfTask(tk)
-		if failures >= s.cfg.MaxFailuresPerPass || failedShapes[shape] {
+		if failures >= s.cfg.MaxFailuresPerPass || s.shapeFailed(shape) {
 			kept = append(kept, tk)
 			continue
 		}
@@ -806,7 +966,7 @@ func (s *Simulator) schedulePass() {
 			}
 			if s.state.Cluster.SpotGPUs("")+tk.TotalGPUs() > s.spotQuota {
 				kept = append(kept, tk)
-				failedShapes[shape] = true
+				s.failedShapes = append(s.failedShapes, shape)
 				failures++
 				continue
 			}
@@ -814,7 +974,7 @@ func (s *Simulator) schedulePass() {
 		dec, err := s.cfg.Scheduler.Schedule(ctx, tk)
 		if err != nil {
 			kept = append(kept, tk)
-			failedShapes[shape] = true
+			s.failedShapes = append(s.failedShapes, shape)
 			failures++
 			continue
 		}
@@ -822,7 +982,7 @@ func (s *Simulator) schedulePass() {
 			admitted += tk.TotalGPUs()
 		}
 		s.apply(tk, dec)
-		clear(failedShapes)
+		s.failedShapes = s.failedShapes[:0]
 		ctx.G, ctx.F = s.gCount, s.fCount
 	}
 	s.mergePending(kept)
@@ -886,7 +1046,7 @@ func (s *Simulator) apply(tk *task.Task, dec *Decision) {
 	}
 	s.epochs[tk.ID]++
 	s.running++
-	s.queue.Push(end, finishEvent{tk: tk, epoch: s.epochs[tk.ID]})
+	s.queue.Push(end, s.newFinishEvent(tk, s.epochs[tk.ID]))
 	s.sampleAlloc()
 	s.lastProgress = s.now
 	if s.hasObs {

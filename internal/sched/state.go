@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"github.com/sjtucitlab/gfs/internal/cluster"
 	"github.com/sjtucitlab/gfs/internal/task"
@@ -14,23 +13,34 @@ import (
 // roll back cleanly.
 type State struct {
 	Cluster *cluster.Cluster
-	locs    map[int]map[*cluster.Node]int // taskID → node → pod count
+	// locs maps taskID → hosting nodes with pod counts, kept sorted
+	// by node ID. The inner slice replaces a pointer-keyed map: node
+	// sets per task are tiny, and slices spare the hot placement path
+	// the map hashing and give NodesOf its ID order for free.
+	locs map[int][]NodePods
+	// locsFree recycles released location slices so steady-state
+	// placement allocates nothing.
+	locsFree [][]NodePods
+	// txnFree recycles the transaction record — scheduling is
+	// single-threaded per state, so one spare suffices.
+	txnFree *Txn
 }
 
 // NewState wraps a cluster.
 func NewState(cl *cluster.Cluster) *State {
-	return &State{Cluster: cl, locs: make(map[int]map[*cluster.Node]int)}
+	return &State{Cluster: cl, locs: make(map[int][]NodePods)}
 }
 
 // NodesOf returns the nodes hosting tk and the pod count on each,
-// sorted by node ID.
+// sorted by node ID. The slice is the caller's to keep: it stays
+// valid after the task is released.
 func (s *State) NodesOf(tk *task.Task) []NodePods {
-	m := s.locs[tk.ID]
-	out := make([]NodePods, 0, len(m))
-	for n, pods := range m {
-		out = append(out, NodePods{Node: n, Pods: pods})
+	locs := s.locs[tk.ID]
+	if len(locs) == 0 {
+		return nil
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Node.ID < out[j].Node.ID })
+	out := make([]NodePods, len(locs))
+	copy(out, locs)
 	return out
 }
 
@@ -45,19 +55,42 @@ func (s *State) place(n *cluster.Node, tk *task.Task) error {
 	if err := n.PlacePod(tk); err != nil {
 		return err
 	}
-	m := s.locs[tk.ID]
-	if m == nil {
-		m = make(map[*cluster.Node]int)
-		s.locs[tk.ID] = m
+	// Node sets per task are tiny (gangs rarely span more than a few
+	// nodes), so a linear scan for the ID-ordered slot beats binary
+	// search with its closure call.
+	locs := s.locs[tk.ID]
+	i := 0
+	for i < len(locs) && locs[i].Node.ID < n.ID {
+		i++
 	}
-	m[n]++
+	if i < len(locs) && locs[i].Node == n {
+		locs[i].Pods++
+		return nil
+	}
+	if locs == nil {
+		if k := len(s.locsFree); k > 0 {
+			locs = s.locsFree[k-1][:0]
+			s.locsFree = s.locsFree[:k-1]
+		}
+	}
+	locs = append(locs, NodePods{})
+	copy(locs[i+1:], locs[i:])
+	locs[i] = NodePods{Node: n, Pods: 1}
+	s.locs[tk.ID] = locs
 	return nil
 }
 
 // releaseAll frees every pod of tk across the cluster.
 func (s *State) releaseAll(tk *task.Task) {
-	for n := range s.locs[tk.ID] {
-		n.ReleaseTask(tk)
+	locs := s.locs[tk.ID]
+	for i := range locs {
+		locs[i].Node.ReleaseTask(tk)
+	}
+	if locs != nil {
+		for i := range locs {
+			locs[i] = NodePods{}
+		}
+		s.locsFree = append(s.locsFree, locs[:0])
 	}
 	delete(s.locs, tk.ID)
 }
@@ -104,8 +137,32 @@ type evictRec struct {
 	locs []NodePods
 }
 
-// Begin opens a transaction on the state.
-func (s *State) Begin() *Txn { return &Txn{state: s} }
+// Begin opens a transaction on the state, reusing the pooled record
+// left by the last Commit or Rollback when one is free.
+func (s *State) Begin() *Txn {
+	if t := s.txnFree; t != nil {
+		s.txnFree = nil
+		t.placed = t.placed[:0]
+		t.evicted = t.evicted[:0]
+		t.done = false
+		return t
+	}
+	return &Txn{state: s}
+}
+
+// release clears the closed transaction's records (dropping the task
+// and slice references they pin) and parks it for the next Begin.
+func (t *Txn) release() {
+	for i := range t.placed {
+		t.placed[i] = placeRec{}
+	}
+	for i := range t.evicted {
+		t.evicted[i] = evictRec{}
+	}
+	if t.state.txnFree == nil {
+		t.state.txnFree = t
+	}
+}
 
 // Place tentatively puts one pod of tk on n.
 func (t *Txn) Place(n *cluster.Node, tk *task.Task) error {
@@ -173,17 +230,23 @@ func (t *Txn) Rollback() {
 			}
 		}
 	}
+	t.release()
 }
 
 // Commit finalizes the transaction and returns the decision.
 func (t *Txn) Commit() *Decision {
 	t.mustBeOpen()
 	t.done = true
-	locs := make([][]NodePods, len(t.evicted))
-	for i, e := range t.evicted {
-		locs[i] = e.locs
+	var locs [][]NodePods
+	if len(t.evicted) > 0 {
+		locs = make([][]NodePods, len(t.evicted))
+		for i, e := range t.evicted {
+			locs[i] = e.locs
+		}
 	}
-	return &Decision{PodNodes: t.PodNodes(), Victims: t.Victims(), VictimLocs: locs}
+	dec := &Decision{PodNodes: t.PodNodes(), Victims: t.Victims(), VictimLocs: locs}
+	t.release()
+	return dec
 }
 
 func (t *Txn) mustBeOpen() {

@@ -1,0 +1,53 @@
+package service
+
+import (
+	"testing"
+)
+
+// FuzzRunSpecJSON drives the POST /v1/sessions spec decoder with
+// arbitrary bodies: it must never panic, and any spec it accepts must
+// satisfy the bounds validate() promises (those are what protect the
+// multi-tenant workers from absurd sessions) and decode the same way
+// twice.
+func FuzzRunSpecJSON(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"scheduler":"yarn","nodes":32,"gpus_per_node":8,"days":2,"seed":7}`))
+	f.Add([]byte(`{"scheduler":"gfs","federation":true,"route":"cheapest-spot","scenario":"rack-failure"}`))
+	f.Add([]byte(`{"tasks":[{"id":1,"type":"hp","pods":1,"gpus_per_pod":1,"duration_s":60,"submit_s":0}]}`))
+	f.Add([]byte(`{"scheduler":"nope"}`))
+	f.Add([]byte(`{"nodes":1e9}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := DecodeRunSpec(data)
+		if err != nil {
+			return
+		}
+		if _, ok := schedulers[sp.Scheduler]; !ok {
+			t.Fatalf("accepted unknown scheduler %q", sp.Scheduler)
+		}
+		if _, ok := routePolicies[sp.Route]; !ok {
+			t.Fatalf("accepted unknown route %q", sp.Route)
+		}
+		if sp.Nodes < 1 || sp.Nodes > maxNodes {
+			t.Fatalf("accepted nodes %d outside [1,%d]", sp.Nodes, maxNodes)
+		}
+		if sp.GPUsPerNode < 1 || sp.GPUsPerNode > maxGPUsPerNode {
+			t.Fatalf("accepted gpus_per_node %d outside [1,%d]", sp.GPUsPerNode, maxGPUsPerNode)
+		}
+		if sp.Days < 1 || sp.Days > maxDays {
+			t.Fatalf("accepted days %d outside [1,%d]", sp.Days, maxDays)
+		}
+		if sp.SpotScale < 0 || sp.SpotScale > maxSpotScale {
+			t.Fatalf("accepted spot_scale %g outside [0,%d]", sp.SpotScale, maxSpotScale)
+		}
+		again, err := DecodeRunSpec(data)
+		if err != nil {
+			t.Fatalf("second decode of accepted spec failed: %v", err)
+		}
+		if sp.Scheduler != again.Scheduler || sp.Nodes != again.Nodes ||
+			sp.Seed != again.Seed || sp.Route != again.Route ||
+			len(sp.Tasks) != len(again.Tasks) {
+			t.Fatalf("decode not deterministic: %+v vs %+v", sp, again)
+		}
+	})
+}

@@ -258,10 +258,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 // createFromSpec handles the JSON-spec submission arm.
 func (s *Server) createFromSpec(w http.ResponseWriter, r *http.Request) {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-	dec := json.NewDecoder(body)
-	dec.DisallowUnknownFields()
-	var spec RunSpec
-	if err := dec.Decode(&spec); err != nil {
+	raw, err := io.ReadAll(body)
+	if err != nil {
 		code := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -270,8 +268,8 @@ func (s *Server) createFromSpec(w http.ResponseWriter, r *http.Request) {
 		httpError(w, code, "bad spec: %v", err)
 		return
 	}
-	spec.normalize()
-	if err := spec.validate(); err != nil {
+	spec, err := DecodeRunSpec(raw)
+	if err != nil {
 		httpError(w, http.StatusBadRequest, "bad spec: %v", err)
 		return
 	}

@@ -181,6 +181,24 @@ func inlineSource(tasks []json.RawMessage) gfs.TraceSource {
 	return gfs.SortTraceBySubmit(src)
 }
 
+// DecodeRunSpec parses a JSON RunSpec body, fills defaults and
+// validates it — the exact pipeline createFromSpec applies to POST
+// /v1/sessions bodies (unknown fields rejected), factored out so the
+// decoder can be exercised (and fuzzed) without an HTTP server.
+func DecodeRunSpec(data []byte) (RunSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sp RunSpec
+	if err := dec.Decode(&sp); err != nil {
+		return sp, err
+	}
+	sp.normalize()
+	if err := sp.validate(); err != nil {
+		return sp, err
+	}
+	return sp, nil
+}
+
 // specFromQuery decodes a RunSpec from URL query parameters — the
 // spec channel for trace-upload submissions, whose body is the trace
 // itself.

@@ -1,6 +1,7 @@
 package simclock
 
 import (
+	"container/heap"
 	"math/rand"
 	"sort"
 	"testing"
@@ -53,7 +54,8 @@ func TestQueueOrdering(t *testing.T) {
 	q.Push(20, "b")
 	var got []string
 	for q.Len() > 0 {
-		got = append(got, q.Pop().Value.(string))
+		e, _ := q.Pop()
+		got = append(got, e.Value.(string))
 	}
 	want := []string{"a", "b", "c"}
 	for i := range want {
@@ -69,21 +71,36 @@ func TestQueueTieBreakByInsertion(t *testing.T) {
 		q.Push(5, i)
 	}
 	for i := 0; i < 100; i++ {
-		e := q.Pop()
-		if e.Value.(int) != i {
-			t.Fatalf("tie order: got %d at pop %d", e.Value, i)
+		e, ok := q.Pop()
+		if !ok || e.Value.(int) != i {
+			t.Fatalf("tie order: got %v at pop %d", e.Value, i)
+		}
+	}
+}
+
+func TestQueuePushFrontBeatsPush(t *testing.T) {
+	var q Queue
+	q.Push(5, "push-early")
+	q.PushFront(5, "front-late")
+	q.Push(5, "push-later")
+	q.PushFront(5, "front-later")
+	want := []string{"front-late", "front-later", "push-early", "push-later"}
+	for i, w := range want {
+		e, ok := q.Pop()
+		if !ok || e.Value.(string) != w {
+			t.Fatalf("pop %d = %v, want %q", i, e.Value, w)
 		}
 	}
 }
 
 func TestQueuePeek(t *testing.T) {
 	var q Queue
-	if q.Peek() != nil {
-		t.Fatal("Peek on empty queue should be nil")
+	if _, ok := q.Peek(); ok {
+		t.Fatal("Peek on empty queue should report empty")
 	}
 	q.Push(7, "x")
-	if q.Peek().At != 7 {
-		t.Fatalf("Peek.At = %d, want 7", q.Peek().At)
+	if e, ok := q.Peek(); !ok || e.At != 7 {
+		t.Fatalf("Peek.At = %v, want 7", e.At)
 	}
 	if q.Len() != 1 {
 		t.Fatal("Peek must not remove the event")
@@ -92,36 +109,30 @@ func TestQueuePeek(t *testing.T) {
 
 func TestQueuePopEmpty(t *testing.T) {
 	var q Queue
-	if q.Pop() != nil {
-		t.Fatal("Pop on empty queue should be nil")
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue should report empty")
 	}
 }
 
-func TestQueueRemove(t *testing.T) {
+// TestQueueReuseAfterDrain exercises the drained-ring push path: a
+// queue that empties completely must accept and order new events.
+func TestQueueReuseAfterDrain(t *testing.T) {
 	var q Queue
-	a := q.Push(1, "a")
-	b := q.Push(2, "b")
-	c := q.Push(3, "c")
-	if !q.Remove(b) {
-		t.Fatal("Remove(b) should succeed")
-	}
-	if q.Remove(b) {
-		t.Fatal("double Remove(b) should fail")
-	}
-	if q.Pop() != a || q.Pop() != c {
-		t.Fatal("remaining events should be a then c")
-	}
-	if q.Remove(nil) {
-		t.Fatal("Remove(nil) should fail")
-	}
-}
-
-func TestQueueRemovePopped(t *testing.T) {
-	var q Queue
-	a := q.Push(1, "a")
-	q.Pop()
-	if q.Remove(a) {
-		t.Fatal("Remove of an already-popped event should fail")
+	for round := 0; round < 5; round++ {
+		base := Time(round * 1000)
+		q.Push(base+20, "b")
+		q.PushFront(base+20, "a")
+		q.Push(base+700, "c")
+		want := []string{"a", "b", "c"}
+		for i, w := range want {
+			e, ok := q.Pop()
+			if !ok || e.Value.(string) != w {
+				t.Fatalf("round %d pop %d = %v, want %q", round, i, e.Value, w)
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("round %d: queue not drained", round)
+		}
 	}
 }
 
@@ -135,7 +146,7 @@ func TestQueueSortedProperty(t *testing.T) {
 		}
 		prev := Time(-1 << 62)
 		for q.Len() > 0 {
-			e := q.Pop()
+			e, _ := q.Pop()
 			if e.At < prev {
 				return false
 			}
@@ -165,9 +176,135 @@ func TestQueueMatchesSort(t *testing.T) {
 		sorted := append([]int64(nil), in...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		for i := 0; q.Len() > 0; i++ {
-			if got := q.Pop().At; got != Time(sorted[i]) {
-				t.Fatalf("trial %d: pos %d got %d want %d", trial, i, got, sorted[i])
+			e, _ := q.Pop()
+			if e.At != Time(sorted[i]) {
+				t.Fatalf("trial %d: pos %d got %d want %d", trial, i, e.At, sorted[i])
 			}
+		}
+	}
+}
+
+// refQueue is the original container/heap implementation, kept here
+// as the oracle for the calendar queue: any divergence in delivery
+// order between the two is a determinism bug.
+type refQueue struct {
+	h   refHeap
+	seq uint64
+}
+
+type refEvent struct {
+	at    Time
+	value any
+	class uint8
+	seq   uint64
+}
+
+func (q *refQueue) push(at Time, class uint8, value any) {
+	heap.Push(&q.h, refEvent{at: at, value: value, class: class, seq: q.seq})
+	q.seq++
+}
+
+func (q *refQueue) pop() (refEvent, bool) {
+	if len(q.h) == 0 {
+		return refEvent{}, false
+	}
+	return heap.Pop(&q.h).(refEvent), true
+}
+
+type refHeap []refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	if h[i].class != h[j].class {
+		return h[i].class < h[j].class
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)   { *h = append(*h, x.(refEvent)) }
+func (h *refHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TestQueueEquivalentToHeap drives random interleaved operation
+// sequences through the calendar queue and the reference heap and
+// demands identical delivery. Pushes follow the simulator's contract
+// (never below the last popped time); the time distribution mixes
+// dense near-term events, same-instant ties, and far-future spikes to
+// stress bucket clamping and rebasing.
+func TestQueueEquivalentToHeap(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		var ref refQueue
+		now := Time(0)
+		id := 0
+		steps := 2000
+		for i := 0; i < steps; i++ {
+			switch op := rng.Intn(10); {
+			case op < 6 || q.Len() == 0: // push
+				var at Time
+				switch rng.Intn(10) {
+				case 0: // same instant as now
+					at = now
+				case 1: // far-future spike
+					at = now + Time(rng.Intn(1<<20))
+				default: // near-term
+					at = now + Time(rng.Intn(300))
+				}
+				if rng.Intn(4) == 0 {
+					q.PushFront(at, id)
+					ref.push(at, 0, id)
+				} else {
+					q.Push(at, id)
+					ref.push(at, 1, id)
+				}
+				id++
+			case op < 8: // peek
+				e, ok := q.Peek()
+				if !ok {
+					t.Fatalf("seed %d step %d: Peek empty with Len=%d", seed, i, q.Len())
+				}
+				if e.At < now {
+					t.Fatalf("seed %d step %d: Peek At %d below now %d", seed, i, e.At, now)
+				}
+			default: // pop both, compare
+				e, ok := q.Pop()
+				re, rok := ref.pop()
+				if ok != rok {
+					t.Fatalf("seed %d step %d: Pop ok=%v ref=%v", seed, i, ok, rok)
+				}
+				if e.At != re.at || e.Value.(int) != re.value.(int) {
+					t.Fatalf("seed %d step %d: Pop (t=%d id=%d) vs ref (t=%d id=%d)",
+						seed, i, e.At, e.Value, re.at, re.value)
+				}
+				now = e.At
+			}
+		}
+		// Drain: the tails must match exactly.
+		for {
+			e, ok := q.Pop()
+			re, rok := ref.pop()
+			if ok != rok {
+				t.Fatalf("seed %d drain: ok=%v ref=%v", seed, ok, rok)
+			}
+			if !ok {
+				break
+			}
+			if e.At != re.at || e.Value.(int) != re.value.(int) {
+				t.Fatalf("seed %d drain: (t=%d id=%d) vs ref (t=%d id=%d)",
+					seed, e.At, e.Value, re.at, re.value)
+			}
+		}
+		if q.Len() != 0 {
+			t.Fatalf("seed %d: Len=%d after drain", seed, q.Len())
 		}
 	}
 }

@@ -1,0 +1,179 @@
+package gfs_test
+
+import (
+	"testing"
+
+	gfs "github.com/sjtucitlab/gfs"
+)
+
+// invariantChecker is an Observer asserting the simulator's safety
+// invariants on every event, across every run shape (plain, storm,
+// federation, streamed replay):
+//
+//   - monotone clock: event timestamps never move backwards within a
+//     member's stream (member-local clocks lag the shared federation
+//     clock while idle, so the merged log is only monotone per
+//     member), and sequence numbers are strictly increasing;
+//   - capacity: no node is ever oversubscribed or negative-used;
+//   - conservation: lifecycle events only ever reference tasks that
+//     arrived, and no task finishes twice.
+//
+// Clusters are registered per member name ("" for single-engine
+// runs) so the capacity sweep follows the event's member.
+type invariantChecker struct {
+	t        *testing.T
+	clusters map[string]*gfs.Cluster
+	started  bool
+	lastAt   map[string]gfs.Time
+	lastSeq  uint64
+	arrived  map[int]int
+	finished map[int]int
+}
+
+func newInvariantChecker(t *testing.T) *invariantChecker {
+	return &invariantChecker{
+		t:        t,
+		clusters: map[string]*gfs.Cluster{},
+		lastAt:   map[string]gfs.Time{},
+		arrived:  map[int]int{},
+		finished: map[int]int{},
+	}
+}
+
+func (c *invariantChecker) watch(member string, cl *gfs.Cluster) *invariantChecker {
+	c.clusters[member] = cl
+	return c
+}
+
+const capEps = 1e-9
+
+func (c *invariantChecker) OnEvent(e gfs.Event) {
+	t := c.t
+	if last, seen := c.lastAt[e.Member]; seen && e.At < last {
+		t.Fatalf("clock moved backwards: event at t=%d after t=%d (%s)", e.At, last, e.String())
+	}
+	if c.started && e.Seq <= c.lastSeq {
+		t.Fatalf("sequence not strictly increasing: seq=%d after seq=%d (%s)", e.Seq, c.lastSeq, e.String())
+	}
+	c.started, c.lastSeq = true, e.Seq
+	c.lastAt[e.Member] = e.At
+
+	if cl := c.clusters[e.Member]; cl != nil {
+		for _, n := range cl.Nodes() {
+			used := n.UsedGPUs()
+			if used < -capEps {
+				t.Fatalf("node %d used %g GPUs < 0 after %s", n.ID, used, e.String())
+			}
+			if cap := float64(n.Capacity()); used > cap+capEps {
+				t.Fatalf("node %d oversubscribed: used %g of %g after %s", n.ID, used, cap, e.String())
+			}
+		}
+	}
+
+	switch e.Kind {
+	case gfs.TaskArrived:
+		c.arrived[e.Task.ID]++
+	case gfs.TaskStarted, gfs.TaskEvicted:
+		if c.arrived[e.Task.ID] == 0 {
+			t.Fatalf("task %d %v before arrival", e.Task.ID, e.Kind)
+		}
+	case gfs.TaskFinished:
+		if c.arrived[e.Task.ID] == 0 {
+			t.Fatalf("task %d finished before arrival", e.Task.ID)
+		}
+		c.finished[e.Task.ID]++
+		if c.finished[e.Task.ID] > 1 {
+			t.Fatalf("task %d finished twice", e.Task.ID)
+		}
+	}
+}
+
+// finish asserts end-of-run conservation against the input trace:
+// every task arrived, none is left mid-flight, and the Finished state
+// agrees with the TaskFinished events.
+func (c *invariantChecker) finish(tasks []*gfs.Task) {
+	t := c.t
+	for _, tk := range tasks {
+		if c.arrived[tk.ID] == 0 {
+			t.Fatalf("task %d never arrived", tk.ID)
+		}
+		if tk.State == gfs.StateRunning {
+			t.Fatalf("task %d still running after the run drained", tk.ID)
+		}
+		if finished := c.finished[tk.ID] > 0; finished != (tk.State == gfs.StateFinished) {
+			t.Fatalf("task %d: finished-event count %d disagrees with state %v",
+				tk.ID, c.finished[tk.ID], tk.State)
+		}
+	}
+	if len(c.arrived) != len(tasks) {
+		t.Fatalf("arrivals for %d distinct tasks, trace holds %d", len(c.arrived), len(tasks))
+	}
+}
+
+// TestInvariantsEngineStorm checks the invariants on single-engine
+// runs under the full scenario stack, for both the GFS stack and the
+// YARN baseline.
+func TestInvariantsEngineStorm(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		sched gfs.Scheduler
+		seed  int64
+	}{
+		{"gfs", nil, 21},
+		{"yarn", gfs.NewYARNCS(), 22},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cl := gfs.NewClusterWithTopology("A100", 16, 8, 2, 4)
+			chk := newInvariantChecker(t).watch("", cl)
+			opts := []gfs.Option{gfs.WithObserver(chk), gfs.WithScenario(goldenStorm(tc.seed))}
+			if tc.sched != nil {
+				opts = append(opts, gfs.WithScheduler(tc.sched), gfs.WithQuota(gfs.StaticQuota(0.5)))
+			}
+			tasks := gfs.GenerateTrace(goldenTraceCfg(tc.seed))
+			gfs.NewEngine(cl, opts...).Run(tasks)
+			chk.finish(tasks)
+		})
+	}
+}
+
+// TestInvariantsFederationStorm checks the invariants on a federated
+// run with a storm over one member and spillover migration to the
+// other. Migrated tasks re-arrive at their target member, so arrival
+// counts may exceed one, but finishes stay unique and capacity holds
+// on both member clusters.
+func TestInvariantsFederationStorm(t *testing.T) {
+	west := gfs.NewClusterWithTopology("A100", 8, 8, 2, 2)
+	east := gfs.NewClusterWithTopology("A100", 8, 8, 2, 2)
+	chk := newInvariantChecker(t).watch("west", west).watch("east", east)
+	fed := gfs.NewFederation([]gfs.Member{
+		{Name: "west", Engine: gfs.NewEngine(west, gfs.WithScenario(goldenStorm(23)))},
+		{Name: "east", Engine: gfs.NewEngine(east)},
+	},
+		gfs.WithRoute(gfs.RouteLeastLoaded()),
+		gfs.WithSpillover(gfs.SpillToLeastLoaded()),
+		gfs.WithMigrationDelay(10*gfs.Minute),
+		gfs.WithFederationObserver(chk),
+	)
+	tasks := gfs.GenerateTrace(goldenTraceCfg(23))
+	fed.Run(tasks)
+	chk.finish(tasks)
+}
+
+// TestInvariantsReplayStorm checks the invariants on the streamed
+// replay path under the same storm stack: constant-memory ingestion
+// must uphold exactly the safety properties of the preloaded run.
+func TestInvariantsReplayStorm(t *testing.T) {
+	cl := gfs.NewClusterWithTopology("A100", 16, 8, 2, 4)
+	chk := newInvariantChecker(t).watch("", cl)
+	tasks := gfs.GenerateTrace(goldenTraceCfg(24))
+	eng := gfs.NewEngine(cl,
+		gfs.WithScheduler(gfs.NewYARNCS()), gfs.WithQuota(gfs.StaticQuota(0.5)),
+		gfs.WithScenario(goldenStorm(24)),
+		gfs.WithObserver(chk),
+		gfs.WithTraceSource(gfs.TraceFromTasks(tasks)),
+	)
+	if _, err := eng.RunTrace(); err != nil {
+		t.Fatal(err)
+	}
+	chk.finish(tasks)
+}
