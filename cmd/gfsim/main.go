@@ -67,6 +67,7 @@ func main() {
 	route := flag.String("route", "least-loaded", "federation route policy (least-loaded, cheapest-spot, forecast-aware, round-robin)")
 	tracePath := flag.String("trace", "", "replay this trace file (streamed; gzip and format auto-detected) instead of generating a workload")
 	report := flag.String("report", "", "emit the collected run report in this format (text, jsonl, csv, prom)")
+	shards := flag.Int("shards", 0, "event-loop shards (0 = GFS_SHARDS env, then serial); results are byte-identical at any value")
 	flag.Parse()
 
 	if *report != "" {
@@ -99,7 +100,7 @@ func main() {
 				fail(fmt.Errorf("-%s does not apply to -federation (members run the reactive GFS stack)", f.Name))
 			}
 		})
-		runFederation(scale, *spotScale, *scenario, *route, *events, *tracePath, *report)
+		runFederation(scale, *spotScale, *scenario, *route, *events, *shards, *tracePath, *report)
 		return
 	}
 
@@ -113,6 +114,9 @@ func main() {
 	}
 
 	var extra []gfs.Option
+	if *shards > 0 {
+		extra = append(extra, gfs.WithShards(*shards))
+	}
 	var collectors []gfs.Collector
 	if *report != "" {
 		collectors = gfs.DefaultCollectors()
@@ -236,7 +240,7 @@ func runSched(scale experiments.SimScale, sc sched.Scheduler, quota sched.QuotaP
 // scenario (when given) hits west only. With a trace path the
 // federation replays the streamed file instead of a generated
 // workload.
-func runFederation(scale experiments.SimScale, spotScale float64, scenario, route string, events int, tracePath, report string) {
+func runFederation(scale experiments.SimScale, spotScale float64, scenario, route string, events, shards int, tracePath, report string) {
 	policies := map[string]func() gfs.RoutePolicy{
 		"least-loaded":   gfs.RouteLeastLoaded,
 		"cheapest-spot":  gfs.RouteCheapestSpot,
@@ -262,6 +266,9 @@ func runFederation(scale experiments.SimScale, spotScale float64, scenario, rout
 		{Name: "east", Engine: gfs.NewEngine(scale.NewCluster())},
 	}
 	fedOpts := []gfs.FederationOption{gfs.WithRoute(mk())}
+	if shards > 0 {
+		fedOpts = append(fedOpts, gfs.WithFederationShards(shards))
+	}
 	if report != "" {
 		fedOpts = append(fedOpts, gfs.WithFederationCollectors(nil))
 	}

@@ -83,22 +83,13 @@ func (l *Lyra) Schedule(ctx *sched.Context, tk *task.Task) (*sched.Decision, err
 	)
 }
 
-// placeByFiltered is placeBy restricted to nodes passing the filter.
+// placeByFiltered is placeBy restricted to nodes passing the filter
+// (nil admits all).
 func placeByFiltered(ctx *sched.Context, tk *task.Task, ok func(*cluster.Node) bool, score func(*cluster.Node) float64) (*sched.Decision, error) {
 	txn := ctx.State.Begin()
+	nodes := ctx.State.Cluster.NodesOfModel(tk.GPUModel)
 	for pod := 0; pod < tk.Pods; pod++ {
-		var best *cluster.Node
-		bestScore := 0.0
-		for _, n := range ctx.State.Cluster.NodesOfModel(tk.GPUModel) {
-			if !ok(n) || !n.CanFitPod(tk) {
-				continue
-			}
-			s := score(n)
-			if best == nil || s < bestScore || (s == bestScore && n.ID < best.ID) {
-				best = n
-				bestScore = s
-			}
-		}
+		best := bestScored(ctx, tk, nodes, ok, score)
 		if best == nil {
 			txn.Rollback()
 			return nil, ErrUnschedulable

@@ -1,0 +1,34 @@
+package cluster
+
+// ShardRange is a half-open index range [Lo, Hi) into a node slice,
+// one contiguous block per shard. Because node slices are kept in ID
+// order and AssignDomains stamps failure domains as contiguous ID
+// blocks, contiguous index ranges double as failure-domain shards:
+// nodes in one rack land in the same range for any shard count that
+// divides the rack layout, and never interleave.
+type ShardRange struct {
+	Lo, Hi int
+}
+
+// ShardRanges splits n items into shards contiguous, balanced ranges
+// (within one item of each other, earlier ranges larger). Shard
+// counts above n produce trailing empty ranges; shards < 1 is treated
+// as 1.
+func ShardRanges(n, shards int) []ShardRange {
+	if shards < 1 {
+		shards = 1
+	}
+	out := make([]ShardRange, shards)
+	for s := 0; s < shards; s++ {
+		out[s] = ShardRange{Lo: s * n / shards, Hi: (s + 1) * n / shards}
+	}
+	return out
+}
+
+// WarmAggregates forces the lazy whole-cluster usage aggregates up to
+// date. Sharded placement scans call it before fanning out to worker
+// goroutines: the aggregates mutate on first read after any occupancy
+// change, and pre-warming them serially keeps the parallel read phase
+// free of writes without changing a single cached bit (the refresh is
+// the same node-order fold wherever it runs).
+func (c *Cluster) WarmAggregates() { c.refreshAgg() }

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"testing"
+
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/task"
+)
+
+func TestShardRanges(t *testing.T) {
+	cases := []struct {
+		n, shards int
+		want      []ShardRange
+	}{
+		{10, 1, []ShardRange{{0, 10}}},
+		{10, 2, []ShardRange{{0, 5}, {5, 10}}},
+		{10, 3, []ShardRange{{0, 3}, {3, 6}, {6, 10}}},
+		{2, 4, []ShardRange{{0, 0}, {0, 1}, {1, 1}, {1, 2}}},
+		{0, 2, []ShardRange{{0, 0}, {0, 0}}},
+		{5, 0, []ShardRange{{0, 5}}},
+	}
+	for _, c := range cases {
+		got := ShardRanges(c.n, c.shards)
+		if len(got) != len(c.want) {
+			t.Fatalf("ShardRanges(%d,%d) = %v, want %v", c.n, c.shards, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ShardRanges(%d,%d)[%d] = %v, want %v", c.n, c.shards, i, got[i], c.want[i])
+			}
+		}
+	}
+	// Property: ranges tile [0,n) exactly for a spread of inputs.
+	for n := 0; n < 40; n++ {
+		for shards := 1; shards <= 9; shards++ {
+			rs := ShardRanges(n, shards)
+			prev := 0
+			for _, r := range rs {
+				if r.Lo != prev || r.Hi < r.Lo {
+					t.Fatalf("ShardRanges(%d,%d) = %v: not a tiling", n, shards, rs)
+				}
+				prev = r.Hi
+			}
+			if prev != n {
+				t.Fatalf("ShardRanges(%d,%d) = %v: ends at %d", n, shards, rs, prev)
+			}
+		}
+	}
+}
+
+func TestWarmAggregates(t *testing.T) {
+	c := NewHomogeneous("A100", 4, 8)
+	n := c.Node(0)
+	if err := n.PlacePod(task.New(1, task.HP, 1, 3, simclock.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	c.WarmAggregates()
+	if c.aggVersion != c.version {
+		t.Fatalf("aggregates stale after WarmAggregates: agg=%d version=%d", c.aggVersion, c.version)
+	}
+	if got := c.UsedGPUs(""); got != 3 {
+		t.Fatalf("UsedGPUs = %v, want 3", got)
+	}
+}

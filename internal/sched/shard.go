@@ -1,0 +1,202 @@
+package sched
+
+import (
+	"os"
+	"strconv"
+	"sync"
+
+	"github.com/sjtucitlab/gfs/internal/cluster"
+)
+
+// Shard-count bounds and environment overrides. GFS_SHARDS supplies
+// the default shard count when SimConfig.Shards is zero, and
+// GFS_SHARD_MIN_NODES the default parallel-scan threshold when
+// SimConfig.ShardMinNodes is zero; CI uses them to force every
+// existing test through the sharded engine without touching call
+// sites. Both are read at NewSimulator time, never cached across
+// simulators, so tests can set them per-run.
+const (
+	maxShards = 64
+	// defaultShardMinNodes is the candidate-set size below which a
+	// placement scan stays serial: fan-out costs a few microseconds
+	// of barrier latency per scan, which only pays for itself on
+	// clusters big enough that one scan dwarfs it.
+	defaultShardMinNodes = 1024
+	// demandParMin is the arrived-HP-task count below which the
+	// per-tick demand accumulation stays serial, for the same reason.
+	demandParMin = 2048
+)
+
+// envInt reads a positive integer from the environment, or 0.
+func envInt(name string) int {
+	v, err := strconv.Atoi(os.Getenv(name))
+	if err != nil || v < 0 {
+		return 0
+	}
+	return v
+}
+
+// resolveShards turns a config value into the effective shard count:
+// explicit config wins, then GFS_SHARDS, then 1; the result is
+// clamped to [1, maxShards].
+func resolveShards(cfg int) int {
+	n := cfg
+	if n == 0 {
+		n = envInt("GFS_SHARDS")
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > maxShards {
+		n = maxShards
+	}
+	return n
+}
+
+// resolveShardMinNodes turns a config value into the effective
+// parallel-scan threshold: explicit config wins, then
+// GFS_SHARD_MIN_NODES, then defaultShardMinNodes.
+func resolveShardMinNodes(cfg int) int {
+	if cfg > 0 {
+		return cfg
+	}
+	if v := envInt("GFS_SHARD_MIN_NODES"); v > 0 {
+		return v
+	}
+	return defaultShardMinNodes
+}
+
+// shardGroup is a persistent pool of n-1 worker goroutines plus the
+// caller, executing barrier-synchronized fan-outs: run(fn) invokes
+// fn(shard) once per shard in [0,n) and returns when every invocation
+// has. The workers park on unbuffered channels between barriers, so
+// an idle group costs nothing but n-1 sleeping goroutines; close
+// releases them. After close (or for n==1) run degrades to a serial
+// loop, so a simulator stepped past Finish still computes correct
+// results.
+type shardGroup struct {
+	n    int
+	fn   func(int)
+	wake []chan struct{}
+	wg   sync.WaitGroup
+	stop sync.Once
+}
+
+// newShardGroup starts the worker pool for n shards.
+func newShardGroup(n int) *shardGroup {
+	g := &shardGroup{n: n}
+	if n <= 1 {
+		return g
+	}
+	g.wake = make([]chan struct{}, n-1)
+	for i := range g.wake {
+		ch := make(chan struct{})
+		g.wake[i] = ch
+		shard := i + 1
+		go func() {
+			for range ch {
+				g.fn(shard)
+				g.wg.Done()
+			}
+		}()
+	}
+	return g
+}
+
+// run executes fn(shard) for every shard and waits for all of them.
+// The channel send publishing each wake-up happens after g.fn is set
+// and the barrier's Wait happens after every worker's Done, so fn and
+// anything it writes are properly synchronized without extra locking.
+func (g *shardGroup) run(fn func(int)) {
+	if len(g.wake) == 0 {
+		for s := 0; s < g.n; s++ {
+			fn(s)
+		}
+		return
+	}
+	g.fn = fn
+	g.wg.Add(len(g.wake))
+	for _, ch := range g.wake {
+		ch <- struct{}{}
+	}
+	fn(0)
+	g.wg.Wait()
+	g.fn = nil
+}
+
+// close releases the worker goroutines. Safe to call more than once
+// and from a runtime cleanup.
+func (g *shardGroup) close() {
+	g.stop.Do(func() {
+		for _, ch := range g.wake {
+			close(ch)
+		}
+		g.wake = nil
+	})
+}
+
+// Parallel is the scheduler-facing handle on the simulator's shard
+// worker pool, surfaced as Context.Par (nil on unsharded runs). It
+// exists for one pattern: fanning a read-only candidate scan over
+// contiguous ranges of an ID-sorted node slice, then reducing the
+// per-shard results in shard order with the scan's own comparator.
+// Because every scan comparator in this codebase is a total order
+// (node-ID tie-break) and ranges are contiguous and ascending, the
+// reduced winner is bit-identical to the serial scan's — parallelism
+// changes wall-clock time, never a single byte of output.
+//
+// During a Scan the cluster and scheduler state must be treated as
+// read-only; writes are only safe into per-shard slots (a results
+// array indexed by shard, or cache entries covering disjoint node
+// ranges). Lazily-computed shared state must be forced beforehand —
+// Scan pre-warms the cluster's lazy usage aggregates for exactly that
+// reason.
+type Parallel struct {
+	group    *shardGroup
+	cl       *cluster.Cluster
+	minItems int
+
+	// Cached range partition for the last item count seen; scans
+	// over a stable node set reuse it allocation-free.
+	ranges  []cluster.ShardRange
+	rangesN int
+}
+
+// Shards reports the shard count. A nil Parallel reports 1.
+func (p *Parallel) Shards() int {
+	if p == nil {
+		return 1
+	}
+	return p.group.n
+}
+
+// Wide reports whether a Scan over n items would fan out, letting
+// callers skip per-shard scratch setup when the scan will run
+// serially anyway.
+func (p *Parallel) Wide(n int) bool {
+	return p != nil && p.group.n > 1 && n >= p.minItems
+}
+
+// Scan partitions n items into contiguous per-shard ranges and runs
+// fn(shard, lo, hi) once per non-empty range, concurrently, returning
+// after all complete. It reports false — running nothing — when the
+// fan-out would not pay: nil receiver, a single shard, or n below the
+// configured minimum. Callers fall back to their serial loop on
+// false.
+func (p *Parallel) Scan(n int, fn func(shard, lo, hi int)) bool {
+	if p == nil || p.group.n <= 1 || n < p.minItems {
+		return false
+	}
+	p.cl.WarmAggregates()
+	if p.rangesN != n {
+		p.ranges = cluster.ShardRanges(n, p.group.n)
+		p.rangesN = n
+	}
+	rs := p.ranges
+	p.group.run(func(s int) {
+		if r := rs[s]; r.Lo < r.Hi {
+			fn(s, r.Lo, r.Hi)
+		}
+	})
+	return true
+}

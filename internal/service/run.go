@@ -43,6 +43,9 @@ func runSpec(ctx context.Context, sp RunSpec, src gfs.TraceSource, obs gfs.Obser
 	if src != nil {
 		opts = append(opts, gfs.WithTraceSource(src))
 	}
+	if sp.Shards > 0 {
+		opts = append(opts, gfs.WithShards(sp.Shards))
+	}
 	opts = append(opts, gfs.WithCollectors(collectors...))
 	if sp.Scenario != "" {
 		sc, err := scale.NamedScenario(sp.Scenario)
@@ -89,6 +92,9 @@ func runFedSpec(ctx context.Context, sp RunSpec, src gfs.TraceSource, obs gfs.Ob
 	fedOpts := []gfs.FederationOption{
 		gfs.WithRoute(routePolicies[sp.Route]()),
 		gfs.WithFederationCollectors(nil),
+	}
+	if sp.Shards > 0 {
+		fedOpts = append(fedOpts, gfs.WithFederationShards(sp.Shards))
 	}
 	if obs != nil {
 		fedOpts = append(fedOpts, gfs.WithFederationObserver(obs))

@@ -35,6 +35,11 @@ type RunSpec struct {
 	SpotScale float64 `json:"spot_scale,omitempty"`
 	// Seed seeds the generated workload (default 17).
 	Seed int64 `json:"seed,omitempty"`
+	// Shards partitions the run's event loop across a worker pool
+	// (see gfs.WithShards); results are byte-identical at any shard
+	// count, so this is purely a latency knob. Zero defers to the
+	// daemon's environment (GFS_SHARDS), then serial.
+	Shards int `json:"shards,omitempty"`
 	// Scenario names a storm profile (rack-failure, zone-cascade,
 	// diurnal-storm, random-storms); empty runs calm.
 	Scenario string `json:"scenario,omitempty"`
@@ -89,6 +94,10 @@ const (
 	maxGPUsPerNode = 16
 	maxDays        = 14
 	maxSpotScale   = 16
+	// maxSpecShards caps per-session parallelism well below the
+	// engine's own clamp: shard workers multiply across the daemon's
+	// concurrent sessions.
+	maxSpecShards = 16
 )
 
 // normalize fills the gfsim defaults into zero fields.
@@ -139,6 +148,9 @@ func (sp *RunSpec) validate() error {
 	}
 	if sp.SpotScale < 0 || sp.SpotScale > maxSpotScale {
 		return fmt.Errorf("spot_scale must be in [0, %d], got %g", maxSpotScale, sp.SpotScale)
+	}
+	if sp.Shards < 0 || sp.Shards > maxSpecShards {
+		return fmt.Errorf("shards must be in [0, %d], got %d", maxSpecShards, sp.Shards)
 	}
 	if sp.Scenario != "" {
 		if _, err := sp.scale().NamedScenario(sp.Scenario); err != nil {
@@ -223,6 +235,7 @@ func specFromQuery(q url.Values) (RunSpec, error) {
 	sp.Nodes = geti("nodes")
 	sp.GPUsPerNode = geti("gpus_per_node")
 	sp.Days = geti("days")
+	sp.Shards = geti("shards")
 	if s := q.Get("spot_scale"); s != "" && err == nil {
 		if sp.SpotScale, err = strconv.ParseFloat(s, 64); err != nil {
 			err = fmt.Errorf("bad spot_scale %q", s)

@@ -1,6 +1,7 @@
 package gfs_test
 
 import (
+	"fmt"
 	"testing"
 
 	gfs "github.com/sjtucitlab/gfs"
@@ -157,6 +158,44 @@ func TestInvariantsFederationStorm(t *testing.T) {
 	tasks := gfs.GenerateTrace(goldenTraceCfg(23))
 	fed.Run(tasks)
 	chk.finish(tasks)
+}
+
+// TestInvariantsShardedStorm re-runs the engine-storm invariant
+// matrix with the event loop sharded at {2, 4}, with the fan-out
+// threshold dropped so every placement scan takes the parallel path.
+// Byte-identity to the serial run is TestShardEquivalence's job; this
+// asserts the safety invariants hold independently — task
+// conservation, non-negative capacity, and a monotone clock must
+// survive the seeded RandomStorms stack on the sharded core even if
+// the equivalence contract were ever relaxed.
+func TestInvariantsShardedStorm(t *testing.T) {
+	t.Setenv("GFS_SHARD_MIN_NODES", "1")
+	for _, shards := range []int{2, 4} {
+		for _, tc := range []struct {
+			name  string
+			sched gfs.Scheduler
+			seed  int64
+		}{
+			{"gfs", nil, 25},
+			{"yarn", gfs.NewYARNCS(), 26},
+		} {
+			t.Run(fmt.Sprintf("%s/shards%d", tc.name, shards), func(t *testing.T) {
+				cl := gfs.NewClusterWithTopology("A100", 16, 8, 2, 4)
+				chk := newInvariantChecker(t).watch("", cl)
+				opts := []gfs.Option{
+					gfs.WithObserver(chk),
+					gfs.WithScenario(goldenStorm(tc.seed)),
+					gfs.WithShards(shards),
+				}
+				if tc.sched != nil {
+					opts = append(opts, gfs.WithScheduler(tc.sched), gfs.WithQuota(gfs.StaticQuota(0.5)))
+				}
+				tasks := gfs.GenerateTrace(goldenTraceCfg(tc.seed))
+				gfs.NewEngine(cl, opts...).Run(tasks)
+				chk.finish(tasks)
+			})
+		}
+	}
 }
 
 // TestInvariantsReplayStorm checks the invariants on the streamed

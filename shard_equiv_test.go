@@ -1,0 +1,112 @@
+package gfs_test
+
+import (
+	"bytes"
+	"testing"
+
+	gfs "github.com/sjtucitlab/gfs"
+)
+
+// The shard-equivalence suite enforces the WithShards contract from
+// the outside: a sharded run must be byte-identical to the serial one
+// on every golden-corpus case and on the exported report. The shard
+// count is forced through the GFS_SHARDS environment variable so the
+// untouched golden constructors exercise the exact engine-default
+// resolution path CI widens over, and GFS_SHARD_MIN_NODES=1 drops the
+// fan-out threshold so even the corpus's 16-node clusters take the
+// parallel scan path rather than trivially falling back to serial.
+
+// TestShardEquivalence replays the full golden-corpus matrix at
+// shards {2, 4} and requires every event log to match the shards=1
+// rendering byte for byte.
+func TestShardEquivalence(t *testing.T) {
+	t.Setenv("GFS_SHARD_MIN_NODES", "1")
+	for _, tc := range goldenCases {
+		t.Run(tc.name, func(t *testing.T) {
+			t.Setenv("GFS_SHARDS", "1")
+			want := tc.run()
+			for _, shards := range []string{"2", "4"} {
+				t.Setenv("GFS_SHARDS", shards)
+				if got := tc.run(); got != want {
+					t.Fatalf("shards=%s drifted from serial run:\n%s", shards, firstDiff(want, got))
+				}
+			}
+		})
+	}
+}
+
+// TestShardReportEquivalence extends the contract to the collected
+// report export: the full default-collector JSONL rendering of a storm
+// run must be byte-identical at every shard count, this time through
+// the explicit WithShards option rather than the environment.
+func TestShardReportEquivalence(t *testing.T) {
+	t.Setenv("GFS_SHARD_MIN_NODES", "1")
+	render := func(shards int) string {
+		eng := gfs.NewEngine(gfs.NewClusterWithTopology("A100", 16, 8, 2, 4),
+			gfs.WithScenario(goldenStorm(31)),
+			gfs.WithShards(shards))
+		rep := eng.RunReport(gfs.GenerateTrace(goldenTraceCfg(31)))
+		var buf bytes.Buffer
+		if err := rep.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	want := render(1)
+	for _, shards := range []int{2, 4} {
+		if got := render(shards); got != want {
+			t.Fatalf("report export at shards=%d drifted from serial run:\n%s",
+				shards, firstDiff(want, got))
+		}
+	}
+}
+
+// TestShardEquivalenceLargeScan pushes one case past the default
+// fan-out threshold on a cluster large enough that the parallel node
+// ranges are non-trivial, without relying on the env override.
+func TestShardEquivalenceLargeScan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-cluster equivalence case skipped in -short")
+	}
+	render := func(shards int) string {
+		cfg := goldenTraceCfg(32)
+		cfg.ClusterGPUs = 2048
+		log := &gfs.EventLog{}
+		eng := gfs.NewEngine(gfs.NewCluster("A100", 2048, 8),
+			gfs.WithScheduler(gfs.NewYARNCS()), gfs.WithQuota(gfs.StaticQuota(0.5)),
+			gfs.WithObserver(log),
+			gfs.WithShards(shards))
+		eng.Run(gfs.GenerateTrace(cfg))
+		return log.String()
+	}
+	want := render(1)
+	for _, shards := range []int{2, 4} {
+		if got := render(shards); got != want {
+			t.Fatalf("2048-node run at shards=%d drifted from serial run:\n%s",
+				shards, firstDiff(want, got))
+		}
+	}
+}
+
+// TestShardEnvDefault pins the resolution order: an explicit
+// WithShards beats GFS_SHARDS, and both produce the serial result.
+func TestShardEnvDefault(t *testing.T) {
+	t.Setenv("GFS_SHARD_MIN_NODES", "1")
+	t.Setenv("GFS_SHARDS", "3")
+	base := engineCase(gfs.NewYARNCS(), 1)
+	t.Setenv("GFS_SHARDS", "")
+	if got := engineCase(gfs.NewYARNCS(), 1); got != base {
+		t.Fatalf("GFS_SHARDS=3 drifted from serial run:\n%s", firstDiff(got, base))
+	}
+	for _, n := range []int{1, 2} {
+		t.Setenv("GFS_SHARDS", "4")
+		log := &gfs.EventLog{}
+		eng := gfs.NewEngine(gfs.NewCluster("A100", 16, 8),
+			gfs.WithScheduler(gfs.NewYARNCS()), gfs.WithQuota(gfs.StaticQuota(0.5)),
+			gfs.WithObserver(log), gfs.WithShards(n))
+		eng.Run(gfs.GenerateTrace(goldenTraceCfg(1)))
+		if got := log.String(); got != base {
+			t.Fatalf("WithShards(%d) under GFS_SHARDS=4 drifted:\n%s", n, firstDiff(base, got))
+		}
+	}
+}
