@@ -220,6 +220,42 @@ func BenchmarkSim10KParallel(b *testing.B) {
 	benchSim10K(b, max(2, runtime.NumCPU()))
 }
 
+// BenchmarkAutoscale bounds the capacity-planning overhead at
+// production node count: the 10,000-node seven-day diurnal run with
+// the predictive autoscaler planning at every quota tick. The fleet
+// starts as 8,000 owned nodes plus a 2,000-node spot pool carried
+// over from an earlier scale-up, so one op pays the per-tick forecast
+// aggregation and the idle sweep over all 10,000 nodes for a week,
+// plus the drain-and-retire bookkeeping as the autoscaler works the
+// surplus pool off. Gated alongside BenchmarkSim10K by
+// internal/ci/benchgate.
+func BenchmarkAutoscale(b *testing.B) {
+	scale := sim10KScale()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tasks := scale.Trace(1)
+		cl := gfs.NewCluster("A100", scale.Nodes-2000, scale.GPUsPerNode)
+		cl.AddPool(gfs.Pool{Model: "A100", Nodes: 2000,
+			GPUsPerNode: scale.GPUsPerNode, Tier: "spot"})
+		pol := &gfs.AutoscalePolicy{
+			Mode:        gfs.AutoscalePredictive,
+			Model:       "A100",
+			GPUsPerNode: scale.GPUsPerNode,
+			MaxNodes:    scale.Nodes,
+			Curve:       &gfs.DiurnalCurve{PeakHour: 14, Width: 4},
+		}
+		eng := gfs.NewEngine(cl,
+			gfs.WithScheduler(gfs.NewYARNCS()), gfs.WithAutoscaler(pol))
+		b.StartTimer()
+		res := eng.Run(tasks)
+		if i == b.N-1 {
+			b.ReportMetric(float64(len(tasks)), "tasks")
+			b.ReportMetric(100*res.AllocationRate, "allocPct")
+		}
+	}
+}
+
 // BenchmarkSimObserver measures the same run with a counting observer
 // attached, for comparison against BenchmarkSim.
 func BenchmarkSimObserver(b *testing.B) {

@@ -9,16 +9,19 @@
 //
 // Experiments: table1, fig2, fig3, fig4, fig5, fig8, fig9, table5,
 // table6, fig10, table7, table8, table9, table10, storm, federation,
-// replay, report, benefit, service, all. Scales: small (128 GPUs),
-// medium (512), paper (2,296). The replay experiment compares
-// schedulers on an ingested trace: -trace names the file (any format
-// gfstrace reads); without it the experiment synthesizes a workload
-// and round-trips it through the gzipped-CSV interchange format in
-// memory. The report experiment collects the full metrics Report for
-// the GFS stack, pricing its allocation gain over the pre-GFS
-// baseline (Fig. 9's accounting). The service experiment exercises
-// the gfsd daemon path in-process: concurrent sessions on the shared
-// worker pool, with a determinism cross-check over their reports.
+// replay, report, benefit, autoscale, service, all. Scales: small
+// (128 GPUs), medium (512), paper (2,296). The replay experiment
+// compares schedulers on an ingested trace: -trace names the file
+// (any format gfstrace reads); without it the experiment synthesizes
+// a workload and round-trips it through the gzipped-CSV interchange
+// format in memory. The report experiment collects the full metrics
+// Report for the GFS stack, pricing its allocation gain over the
+// pre-GFS baseline (Fig. 9's accounting). The autoscale experiment
+// prices static, reactive and predictive capacity strategies against
+// each other on the monthly cost ledger. The service experiment
+// exercises the gfsd daemon path in-process: concurrent sessions on
+// the shared worker pool, with a determinism cross-check over their
+// reports.
 package main
 
 import (
@@ -71,6 +74,7 @@ var registry = []experiment{
 	{"replay", runReplay},
 	{"report", runReport},
 	{"benefit", runBenefit},
+	{"autoscale", runAutoscale},
 	{"service", runService},
 }
 
@@ -326,6 +330,16 @@ func runFig10(env expEnv) error {
 func runBenefit(expEnv) error {
 	_, report := experiments.MonthlyBenefit(nil)
 	fmt.Printf("== Monthly benefit (paper deployment deltas) ==\n%s", report)
+	return nil
+}
+
+func runAutoscale(env expEnv) error {
+	rows, err := experiments.AutoscaleExperiment(env.scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("== Autoscale: static vs reactive vs predictive capacity ==\n%s",
+		experiments.FormatAutoscale(rows))
 	return nil
 }
 

@@ -39,6 +39,14 @@
 // -nodes cluster running the reactive GFS stack, with spillover
 // migration between them. -route picks the admission policy:
 // least-loaded, cheapest-spot, forecast-aware or round-robin.
+//
+// -autoscale attaches the built-in capacity autoscaler ("predictive"
+// or "reactive"): it provisions and retires nodes mid-run across the
+// spot → on-demand → reserved tier ladder, and its capacity churn
+// shows up in -events output as NodeProvisioned / NodeRetired. It
+// composes with every scheduler, -trace, -scenario, -report and
+// -shards; federation members manage capacity per engine, so it is
+// rejected alongside -federation.
 package main
 
 import (
@@ -68,6 +76,7 @@ func main() {
 	tracePath := flag.String("trace", "", "replay this trace file (streamed; gzip and format auto-detected) instead of generating a workload")
 	report := flag.String("report", "", "emit the collected run report in this format (text, jsonl, csv, prom)")
 	shards := flag.Int("shards", 0, "event-loop shards (0 = GFS_SHARDS env, then serial); results are byte-identical at any value")
+	autoscalePolicy := flag.String("autoscale", "", "capacity autoscaler policy (predictive, reactive); provisions/retires nodes mid-run")
 	flag.Parse()
 
 	if *report != "" {
@@ -99,6 +108,9 @@ func main() {
 			if f.Name == "scheduler" || f.Name == "hours" {
 				fail(fmt.Errorf("-%s does not apply to -federation (members run the reactive GFS stack)", f.Name))
 			}
+			if f.Name == "autoscale" {
+				fail(fmt.Errorf("-autoscale does not apply to -federation (members manage capacity per engine)"))
+			}
 		})
 		runFederation(scale, *spotScale, *scenario, *route, *events, *shards, *tracePath, *report)
 		return
@@ -116,6 +128,14 @@ func main() {
 	var extra []gfs.Option
 	if *shards > 0 {
 		extra = append(extra, gfs.WithShards(*shards))
+	}
+	if *autoscalePolicy != "" {
+		pol, err := gfs.NamedAutoscaler(*autoscalePolicy)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("autoscale: %s policy\n", *autoscalePolicy)
+		extra = append(extra, gfs.WithAutoscaler(pol))
 	}
 	var collectors []gfs.Collector
 	if *report != "" {

@@ -560,7 +560,21 @@ type CostCollector struct {
 	// scale-out node never seen before (a new pool, or growth of an
 	// existing one).
 	downNodes map[int]bool
+	// Autoscaled capacity is additionally attributed per (tier,
+	// model): tierCap is the live provisioned capacity, tierArea its
+	// GPU-seconds integral (advanced by integrateTo), tierProv /
+	// tierRet the delivery and retirement counts. Billing runs from
+	// NodeProvisioned to NodeRetired; the drain tail after a
+	// retirement begins is not billed.
+	tierCap  map[tierKey]float64
+	tierArea map[tierKey]float64
+	tierProv map[tierKey]int
+	tierRet  map[tierKey]int
 }
+
+// tierKey indexes autoscaled-capacity attribution per capacity tier
+// and GPU model.
+type tierKey struct{ tier, model string }
 
 // NewCostCollector builds the collector behind Report.Cost.
 func NewCostCollector(cfg CostConfig) *CostCollector {
@@ -585,6 +599,10 @@ func (c *CostCollector) Begin(meta RunMeta) {
 	c.area = make(map[string]float64)
 	c.started = false
 	c.downNodes = make(map[int]bool)
+	c.tierCap = make(map[tierKey]float64)
+	c.tierArea = make(map[tierKey]float64)
+	c.tierProv = make(map[tierKey]int)
+	c.tierRet = make(map[tierKey]int)
 	for _, p := range meta.Pools {
 		c.models = append(c.models, p.Model)
 		c.cap[p.Model] += p.GPUs
@@ -615,6 +633,9 @@ func (c *CostCollector) integrateTo(at Time) {
 	if dt > 0 {
 		for m, u := range c.used {
 			c.area[m] += u * dt
+		}
+		for k, cap := range c.tierCap {
+			c.tierArea[k] += cap * dt
 		}
 		c.lastAt = at
 	}
@@ -677,6 +698,37 @@ func (c *CostCollector) OnEvent(e Event) {
 		}
 		c.addModel(e.Node.Model)
 		c.cap[e.Node.Model] += float64(e.Node.Capacity())
+	case NodeProvisioned:
+		// Autoscaled capacity: grow the node's pool like a scale-out
+		// delivery and open its per-tier billing window.
+		if e.Node == nil {
+			return
+		}
+		c.integrateTo(e.At)
+		c.addModel(e.Node.Model)
+		gpus := float64(e.Node.Capacity())
+		c.cap[e.Node.Model] += gpus
+		k := tierKey{tier: e.Tier, model: e.Node.Model}
+		c.tierCap[k] += gpus
+		c.tierProv[k]++
+	case NodeRetired:
+		// Retirement closes the capacity window at cordon time: the
+		// node takes no new work, so both its tier billing and its
+		// pool capacity end here (the drain tail is neither billed
+		// nor counted as allocatable).
+		if e.Node == nil {
+			return
+		}
+		c.integrateTo(e.At)
+		gpus := float64(e.Node.Capacity())
+		if c.cap[e.Node.Model] -= gpus; c.cap[e.Node.Model] < 0 {
+			c.cap[e.Node.Model] = 0
+		}
+		k := tierKey{tier: e.Tier, model: e.Node.Model}
+		if c.tierCap[k] -= gpus; c.tierCap[k] < 0 {
+			c.tierCap[k] = 0
+		}
+		c.tierRet[k]++
 	}
 }
 
@@ -706,6 +758,34 @@ func (c *CostCollector) Finish(rep *Report) {
 			pricing.HoursPerMonth * c.cfg.Margin
 		ledger.MonthlyBenefitUSD += pc.MonthlyBenefitUSD
 		ledger.Pools = append(ledger.Pools, pc)
+	}
+	// Per-tier attribution of autoscaled capacity, sorted by (tier,
+	// model) for a deterministic ledger. Absent without an
+	// autoscaler, so pre-existing reports are byte-stable.
+	keys := make([]tierKey, 0, len(c.tierProv))
+	for k := range c.tierProv {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].tier != keys[j].tier {
+			return keys[i].tier < keys[j].tier
+		}
+		return keys[i].model < keys[j].model
+	})
+	for _, k := range keys {
+		hours := c.tierArea[k] / 3600
+		price := pricing.TierPrice(pricing.Table(c.cfg.Pricing), k.model, k.tier)
+		tc := TierCost{
+			Tier:            k.tier,
+			Model:           k.model,
+			GPUHours:        hours,
+			PricePerGPUHour: price,
+			SpendUSD:        hours * price,
+			Provisioned:     c.tierProv[k],
+			Retired:         c.tierRet[k],
+		}
+		ledger.TierSpendUSD += tc.SpendUSD
+		ledger.Tiers = append(ledger.Tiers, tc)
 	}
 	rep.Cost = ledger
 	if c.lastAt > rep.End {

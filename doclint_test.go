@@ -12,13 +12,13 @@ import (
 
 // TestExportedSymbolsDocumented is the doc-lint gate run by CI: every
 // exported top-level identifier in the public package, the simulator
-// core, the trace-ingestion package and the stats package (which the
-// metrics collectors build on) must carry a doc comment. A
-// type/const/var inside a documented declaration group inherits the
-// group's comment; exported functions and methods always need their
-// own.
+// core, the trace-ingestion package, the stats package (which the
+// metrics collectors build on) and the autoscale policy package must
+// carry a doc comment. A type/const/var inside a documented
+// declaration group inherits the group's comment; exported functions
+// and methods always need their own.
 func TestExportedSymbolsDocumented(t *testing.T) {
-	for _, dir := range []string{".", "internal/sched", "internal/trace", "internal/stats"} {
+	for _, dir := range []string{".", "internal/sched", "internal/trace", "internal/stats", "internal/autoscale"} {
 		for _, miss := range undocumented(t, dir) {
 			t.Errorf("%s: %s is exported but undocumented", dir, miss)
 		}

@@ -39,6 +39,13 @@ const (
 	// onto the spine (Event.Used / Event.Capacity); collectors
 	// rebuild the allocation trajectory from these ticks.
 	AllocSampled = sched.AllocSampled
+	// NodeProvisioned marks autoscaler-delivered capacity joining the
+	// cluster after its pre-warm lead (Event.Node, Event.Tier).
+	NodeProvisioned = sched.NodeProvisioned
+	// NodeRetired marks the start of an autoscaler retirement: the
+	// node is cordoned and drains, leaving capacity when its last HP
+	// pod completes (Event.Node, Event.Tier).
+	NodeRetired = sched.NodeRetired
 )
 
 // Eviction causes.

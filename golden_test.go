@@ -144,6 +144,44 @@ func replayStormCase(sched gfs.Scheduler, seed int64) string {
 	return log.String()
 }
 
+// autoscaleCase runs the full GFS stack with the built-in capacity
+// policy over an under-provisioned cluster, so the workload forces
+// mid-run provisions and idle retirements onto the event spine. A
+// fresh policy is built per call — policies keep per-run state, and
+// the shard-equivalence suite reruns each case at several widths.
+func autoscaleCase(mode gfs.AutoscaleMode, seed int64) string {
+	log := &gfs.EventLog{}
+	pol := &gfs.AutoscalePolicy{
+		Mode:     mode,
+		MaxNodes: 8,
+		Step:     2,
+		Curve:    &gfs.DiurnalCurve{PeakHour: 14, Width: 4},
+	}
+	eng := gfs.NewEngine(gfs.NewCluster("A100", 10, 8),
+		gfs.WithAutoscaler(pol), gfs.WithObserver(log))
+	eng.Run(gfs.GenerateTrace(goldenTraceCfg(seed)))
+	return log.String()
+}
+
+// autoscaleStormCase layers the full storm stack over an autoscaled
+// run: correlated failures, diurnal reclamation and capacity churn
+// interleaved on one spine.
+func autoscaleStormCase(seed int64) string {
+	log := &gfs.EventLog{}
+	pol := &gfs.AutoscalePolicy{
+		Mode:     gfs.AutoscalePredictive,
+		MaxNodes: 8,
+		Step:     2,
+		Curve:    &gfs.DiurnalCurve{PeakHour: 14, Width: 4},
+	}
+	eng := gfs.NewEngine(gfs.NewClusterWithTopology("A100", 12, 8, 2, 4),
+		gfs.WithAutoscaler(pol),
+		gfs.WithScenario(goldenStorm(seed)),
+		gfs.WithObserver(log))
+	eng.Run(gfs.GenerateTrace(goldenTraceCfg(seed)))
+	return log.String()
+}
+
 // goldenCases is the scenario × scheduler × seed matrix. Names are
 // fixture file names; keep them stable — renames orphan fixtures.
 var goldenCases = []struct {
@@ -161,6 +199,9 @@ var goldenCases = []struct {
 	{"federation_seed9", func() string { return federationCase(9) }},
 	{"replay_csv_yarn_seed1", func() string { return replayCSVCase(gfs.NewYARNCS(), 1) }},
 	{"replay_storm_yarn_seed7", func() string { return replayStormCase(gfs.NewYARNCS(), 7) }},
+	{"autoscale_predictive_seed12", func() string { return autoscaleCase(gfs.AutoscalePredictive, 12) }},
+	{"autoscale_reactive_seed13", func() string { return autoscaleCase(gfs.AutoscaleReactive, 13) }},
+	{"autoscale_storm_seed14", func() string { return autoscaleStormCase(14) }},
 }
 
 // TestGoldenCorpus fails on any byte drift between the current

@@ -1,0 +1,385 @@
+// Package autoscale closes the paper's forecast→capacity loop: a
+// per-tick capacity controller that consumes the same per-organization
+// demand history the GPU Demand Estimator (§3.2) trains on and
+// provisions or retires nodes mid-run through the simulator's
+// global-sequence event path. Capacity is bought across multi-tier
+// pools (spot → on-demand → reserved, priced by internal/pricing),
+// scale-ups are confidence-thresholded on the forecast's upper
+// quantile, pre-warm lead times stretch with the diurnal activity
+// curve (capacity markets are tightest at peak hours), and idle nodes
+// scale down after a grace period, draining rather than stranding
+// their tasks.
+package autoscale
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/sjtucitlab/gfs/internal/cluster"
+	"github.com/sjtucitlab/gfs/internal/gde"
+	"github.com/sjtucitlab/gfs/internal/pricing"
+	"github.com/sjtucitlab/gfs/internal/sched"
+	"github.com/sjtucitlab/gfs/internal/simclock"
+	"github.com/sjtucitlab/gfs/internal/stats"
+	"github.com/sjtucitlab/gfs/internal/timefeat"
+)
+
+// Mode selects how the policy estimates upcoming demand.
+type Mode string
+
+const (
+	// ModeReactive sizes capacity from observed demand only: GPUs in
+	// use plus the pending queue at each tick.
+	ModeReactive Mode = "reactive"
+	// ModePredictive additionally forecasts HP demand per
+	// organization (GDE when an estimator is fitted, a deterministic
+	// seasonal-naive fallback otherwise) and provisions toward the
+	// forecast's upper confidence quantile, so capacity lands before
+	// the demand does.
+	ModePredictive Mode = "predictive"
+)
+
+// ParseMode resolves a mode name, rejecting unknown values.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModeReactive, ModePredictive:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("autoscale: unknown mode %q (want %q or %q)", s, ModeReactive, ModePredictive)
+}
+
+// TierQuota caps how many autoscaled nodes one capacity tier may
+// hold. A policy's tiers are tried in slice order, so listing spot
+// first buys the cheapest capacity first.
+type TierQuota struct {
+	// Tier names the capacity tier (pricing.TierSpot, TierOnDemand,
+	// TierReserved).
+	Tier string
+	// MaxNodes bounds the autoscaled nodes in this tier.
+	MaxNodes int
+}
+
+// DefaultTiers returns the spot → on-demand → reserved preference
+// ladder: half the budget interruptible, a quarter on-demand, and
+// reserved absorbing whatever overflow the total cap still allows.
+func DefaultTiers(maxNodes int) []TierQuota {
+	return []TierQuota{
+		{Tier: pricing.TierSpot, MaxNodes: (maxNodes + 1) / 2},
+		{Tier: pricing.TierOnDemand, MaxNodes: (maxNodes + 3) / 4},
+		{Tier: pricing.TierReserved, MaxNodes: maxNodes},
+	}
+}
+
+// Policy is the built-in sched.Autoscaler. The zero value is not
+// ready; fill Mode (everything else defaults sensibly) and hand a
+// fresh Policy to each run — Plan keeps per-run state (idle timers,
+// in-flight provisions), so sharing one across runs leaks decisions
+// between them.
+type Policy struct {
+	// Mode picks reactive or predictive demand estimation.
+	Mode Mode
+	// Model is the GPU model of provisioned pools (default "A100").
+	Model string
+	// GPUsPerNode sizes provisioned nodes (default 8).
+	GPUsPerNode int
+	// MaxNodes caps total live autoscaled nodes (default 64).
+	MaxNodes int
+	// Step caps nodes provisioned or retired per tick (default 4).
+	Step int
+	// Tiers is the per-tier budget ladder, tried in order; empty
+	// defaults to DefaultTiers(MaxNodes).
+	Tiers []TierQuota
+	// Confidence is the forecast quantile a predictive scale-up
+	// provisions toward, in (0,1) (default 0.9).
+	Confidence float64
+	// TargetUtilization is the demand/capacity ratio the controller
+	// steers to, in (0,1] (default 0.8): it scales up when demand
+	// would exceed target×capacity and down when idle capacity keeps
+	// utilization below it.
+	TargetUtilization float64
+	// PreWarm is the base provisioning lead time (default 10 min).
+	PreWarm simclock.Duration
+	// Curve, when set, stretches the pre-warm lead with the diurnal
+	// activity weight — at peak hours a provision takes up to 2×
+	// PreWarm to deliver.
+	Curve *timefeat.DiurnalCurve
+	// Calendar resolves Curve's weekend/holiday damping; nil means a
+	// plain calendar.
+	Calendar *timefeat.Calendar
+	// IdleAfter is the grace a node must stay fully idle before it
+	// is retired (default 30 min).
+	IdleAfter simclock.Duration
+	// Estimator, when fitted, serves the predictive forecasts; nil
+	// (or unfitted) falls back to a deterministic seasonal-naive
+	// forecast over the live demand history.
+	Estimator *gde.Estimator
+
+	initDone  bool
+	idleSince map[int]simclock.Time
+	pending   []pendingProv
+}
+
+// pendingProv tracks one ordered-but-undelivered provision so the
+// controller does not re-order capacity already in flight.
+type pendingProv struct {
+	at    simclock.Time
+	nodes int
+	tier  string
+}
+
+func (p *Policy) init() {
+	if p.initDone {
+		return
+	}
+	p.initDone = true
+	if p.Model == "" {
+		p.Model = "A100"
+	}
+	if p.GPUsPerNode <= 0 {
+		p.GPUsPerNode = 8
+	}
+	if p.MaxNodes <= 0 {
+		p.MaxNodes = 64
+	}
+	if p.Step <= 0 {
+		p.Step = 4
+	}
+	if p.Confidence <= 0 || p.Confidence >= 1 {
+		p.Confidence = 0.9
+	}
+	if p.TargetUtilization <= 0 || p.TargetUtilization > 1 {
+		p.TargetUtilization = 0.8
+	}
+	if p.PreWarm <= 0 {
+		p.PreWarm = 10 * simclock.Minute
+	}
+	if p.IdleAfter <= 0 {
+		p.IdleAfter = 30 * simclock.Minute
+	}
+	if len(p.Tiers) == 0 {
+		p.Tiers = DefaultTiers(p.MaxNodes)
+	}
+	if p.idleSince == nil {
+		p.idleSince = make(map[int]simclock.Time)
+	}
+}
+
+// Plan implements sched.Autoscaler: one control decision per quota
+// tick, deterministic in the sequence of contexts observed.
+func (p *Policy) Plan(ctx *sched.AutoscaleContext) sched.AutoscalePlan {
+	p.init()
+	now := ctx.Now
+
+	// In-flight provisions: anything due by now has been delivered
+	// (provision events sort before the tick that ordered them plus
+	// one interval), so only strictly-future entries still count.
+	kept := p.pending[:0]
+	pendNodes := 0
+	pendByTier := make(map[string]int)
+	for _, pr := range p.pending {
+		if pr.at > now {
+			kept = append(kept, pr)
+			pendNodes += pr.nodes
+			pendByTier[pr.tier] += pr.nodes
+		}
+	}
+	p.pending = kept
+
+	activeNodes := 0
+	activeByTier := make(map[string]int)
+	for _, n := range ctx.Cluster.Nodes() {
+		if n.Tier == "" || !n.Schedulable() {
+			continue
+		}
+		activeNodes++
+		activeByTier[n.Tier]++
+	}
+
+	// Demand is guaranteed (HP) work only — running plus queued.
+	// Spot usage expands to fill whatever capacity exists, so counting
+	// it would make every purchase justify the next one; instead spot
+	// harvests the headroom the capacity target leaves open.
+	capacity := ctx.Cluster.TotalGPUs("")
+	demand := ctx.Cluster.HPGPUs("") + ctx.PendingGPUs
+	target := p.TargetUtilization
+	// The observed-demand target keeps utilization at TargetUtilization;
+	// the forecast's upper quantile is a capacity target in its own
+	// right (the confidence margin already is the headroom), so it is
+	// not divided by target again.
+	need := demand / target
+	if p.Mode == ModePredictive {
+		if q := p.forecastUpper(ctx); q > need {
+			need = q
+		}
+	}
+	// Capacity already bought but still pre-warming counts toward the
+	// target, otherwise every tick inside the lead re-buys the gap.
+	effCap := capacity + float64(pendNodes*p.GPUsPerNode)
+	gap := need - effCap
+
+	var plan sched.AutoscalePlan
+	if gap > 0 {
+		nodes := int(math.Ceil(gap / float64(p.GPUsPerNode)))
+		if nodes > p.Step {
+			nodes = p.Step
+		}
+		if room := p.MaxNodes - activeNodes - pendNodes; nodes > room {
+			nodes = room
+		}
+		lead := p.lead(now)
+		for _, tq := range p.Tiers {
+			if nodes <= 0 {
+				break
+			}
+			room := tq.MaxNodes - activeByTier[tq.Tier] - pendByTier[tq.Tier]
+			if room <= 0 {
+				continue
+			}
+			take := nodes
+			if take > room {
+				take = room
+			}
+			plan.Provisions = append(plan.Provisions, sched.Provision{
+				Pool: cluster.Pool{Model: p.Model, Nodes: take, GPUsPerNode: p.GPUsPerNode, Tier: tq.Tier},
+				Lead: lead,
+			})
+			p.pending = append(p.pending, pendingProv{at: now.Add(lead), nodes: take, tier: tq.Tier})
+			nodes -= take
+		}
+	}
+
+	// Idle bookkeeping runs every tick; retirement only when no
+	// scale-up is in progress and surplus survives the removal. A node
+	// is idle when it holds no guaranteed work — spot riders drain
+	// (with eviction) when the node retires, they do not pin it.
+	retiredGPUs := 0.0
+	for _, n := range ctx.Cluster.Nodes() {
+		if n.Tier == "" || !n.Schedulable() || n.HPGPUs() > 0 {
+			delete(p.idleSince, n.ID)
+			continue
+		}
+		since, ok := p.idleSince[n.ID]
+		if !ok {
+			p.idleSince[n.ID] = now
+			continue
+		}
+		if gap > 0 || len(plan.Retire) >= p.Step {
+			continue
+		}
+		if now.Sub(since) < p.IdleAfter {
+			continue
+		}
+		nc := float64(n.Capacity())
+		if effCap-retiredGPUs-nc < need {
+			continue
+		}
+		plan.Retire = append(plan.Retire, n.ID)
+		retiredGPUs += nc
+		delete(p.idleSince, n.ID)
+	}
+	return plan
+}
+
+// lead returns the pre-warm delay for a provision ordered at now:
+// PreWarm stretched by the diurnal activity weight when a curve is
+// configured.
+func (p *Policy) lead(now simclock.Time) simclock.Duration {
+	lead := p.PreWarm
+	if p.Curve != nil {
+		w := p.Curve.WeightAt(p.Calendar, now)
+		lead = simclock.Duration(float64(lead) * (1 + w))
+	}
+	return lead
+}
+
+// forecastUpper returns the cluster's upper-quantile HP demand
+// forecast for the near horizon: per-organization forecasts (GDE when
+// fitted, the seasonal-naive fallback otherwise) aggregated per
+// horizon step as Σμ + z·√(Σσ²) — organizations fluctuate
+// independently, so summing their individual quantiles would price
+// perfectly-correlated worst cases into every scale-up — and maxed
+// over the steps. Organizations are visited in sorted name order so
+// the float accumulation is deterministic.
+func (p *Policy) forecastUpper(ctx *sched.AutoscaleContext) float64 {
+	if len(ctx.OrgDemand) == 0 {
+		return 0
+	}
+	z := stats.NormICDF(p.Confidence)
+	orgs := make([]string, 0, len(ctx.OrgDemand))
+	for org := range ctx.OrgDemand {
+		orgs = append(orgs, org)
+	}
+	sort.Strings(orgs)
+	var mus, vars []float64
+	add := func(i int, mu, sigma float64) {
+		for len(mus) <= i {
+			mus = append(mus, 0)
+			vars = append(vars, 0)
+		}
+		if mu > 0 {
+			mus[i] += mu
+		}
+		vars[i] += sigma * sigma
+	}
+	for _, org := range orgs {
+		hist := ctx.OrgDemand[org]
+		if len(hist) == 0 {
+			continue
+		}
+		if p.Estimator != nil && p.Estimator.Fitted() {
+			m, s := p.Estimator.Forecast(org, hist, ctx.HourIndex)
+			for i := range m {
+				add(i, m[i], s[i])
+			}
+		} else {
+			mu, sigma := seasonalNaive(hist)
+			add(0, mu, sigma)
+		}
+	}
+	upper := 0.0
+	for i := range mus {
+		if u := mus[i] + z*math.Sqrt(vars[i]); u > upper {
+			upper = u
+		}
+	}
+	return upper
+}
+
+// seasonalNaive is the estimator-free fallback forecast: the value
+// one day earlier (or the latest value while the history is shorter
+// than a day), with the mean absolute seasonal residual — how far
+// today strayed from yesterday at the same hours — as spread. Using
+// the predictor's own residuals rather than the raw diurnal swing
+// keeps the upper quantile from pricing the whole daily amplitude
+// into every scale-up decision.
+func seasonalNaive(hist []float64) (mu, sigma float64) {
+	n := len(hist)
+	mu = hist[n-1]
+	if n >= 24 {
+		mu = hist[n-24]
+	}
+	if n >= 25 {
+		lo := n - 24
+		if lo < 24 {
+			lo = 24
+		}
+		for i := lo; i < n; i++ {
+			sigma += math.Abs(hist[i] - hist[i-24])
+		}
+		sigma /= float64(n - lo)
+		return mu, sigma
+	}
+	// Under a day of history: fall back to the deviation around the
+	// observed mean.
+	mean := 0.0
+	for _, v := range hist {
+		mean += v
+	}
+	mean /= float64(n)
+	for _, v := range hist {
+		sigma += math.Abs(v - mean)
+	}
+	sigma /= float64(n)
+	return mu, sigma
+}

@@ -53,6 +53,11 @@ type Pool struct {
 	Model       string
 	Nodes       int
 	GPUsPerNode int
+	// Tier is the capacity tier the pool's nodes are billed under
+	// ("spot", "on-demand", "reserved"). Empty means owned/reserved
+	// capacity; autoscalers stamp it on provisioned pools so cost
+	// collectors can attribute spend per tier.
+	Tier string
 }
 
 // NewHeterogeneous builds a multi-model cluster from pools, numbering
@@ -89,6 +94,7 @@ func (c *Cluster) AddPool(p Pool) []*Node {
 	added := make([]*Node, 0, p.Nodes)
 	for i := 0; i < p.Nodes; i++ {
 		n := NewNode(id, p.Model, p.GPUsPerNode)
+		n.Tier = p.Tier
 		c.AddNode(n)
 		added = append(added, n)
 		id++

@@ -58,6 +58,11 @@ type Node struct {
 	// Nodes sharing a domain fail together under correlated-failure
 	// scenario actions; empty means no topology information.
 	Domain string
+	// Tier is the capacity tier the node is billed under ("spot",
+	// "on-demand", "reserved"); empty means owned/reserved capacity
+	// that predates any autoscaling. Autoscaled pools carry their
+	// Pool.Tier here so collectors can price capacity churn.
+	Tier string
 
 	gpus []gpu
 

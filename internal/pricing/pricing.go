@@ -49,6 +49,50 @@ const HoursPerMonth = 730.0
 // when reclaimed capacity is sold as spot (≈74% discount).
 const DefaultSpotMargin = 0.26
 
+// ReservedFactor is the fraction of the on-demand price paid for
+// reserved/committed capacity (1-year commitment class discounts).
+const ReservedFactor = 0.6
+
+// Capacity tier names, in cost order. They name both what an
+// autoscaler provisions (cluster.Pool.Tier) and how the cost
+// collector prices the resulting GPU-hours.
+const (
+	// TierSpot is interruptible capacity bought at the spot margin.
+	TierSpot = "spot"
+	// TierOnDemand is uncommitted capacity at the list price.
+	TierOnDemand = "on-demand"
+	// TierReserved is committed capacity at the reserved discount;
+	// nodes with an empty tier are priced as reserved too.
+	TierReserved = "reserved"
+)
+
+// KnownTier reports whether tier names one of the capacity tiers
+// ("" counts as reserved).
+func KnownTier(tier string) bool {
+	switch tier {
+	case "", TierSpot, TierOnDemand, TierReserved:
+		return true
+	}
+	return false
+}
+
+// TierPrice returns the hourly USD price per card of model bought in
+// the given tier: spot pays the list price times DefaultSpotMargin,
+// on-demand pays list, and reserved (or an empty tier) pays list
+// times ReservedFactor. Unknown models price at 0, unknown tiers at
+// the on-demand price.
+func TierPrice(tbl Table, model, tier string) float64 {
+	price := tbl[model]
+	switch tier {
+	case TierSpot:
+		return price * DefaultSpotMargin
+	case "", TierReserved:
+		return price * ReservedFactor
+	default:
+		return price
+	}
+}
+
 // PoolDelta is the allocation-rate improvement of one GPU pool.
 type PoolDelta struct {
 	Model      string

@@ -50,6 +50,17 @@ const (
 	// trajectory (and its time-averaged rate) from these ticks alone,
 	// without touching the cluster.
 	AllocSampled
+	// NodeProvisioned fires when an autoscaler delivers a new node
+	// after its pre-warm lead time; Event.Node holds the node and
+	// Event.Tier its capacity tier. Unlike NodeUp it marks capacity
+	// that did not exist at run start, so cost collectors price it
+	// from delivery rather than treating it as a recovery.
+	NodeProvisioned
+	// NodeRetired fires when an autoscaler begins retiring a node:
+	// the node is cordoned, its spot tasks are drained, and it
+	// leaves capacity once its last HP pod completes. Event.Node
+	// holds the node and Event.Tier its capacity tier.
+	NodeRetired
 )
 
 // String implements fmt.Stringer.
@@ -75,6 +86,10 @@ func (k EventKind) String() string {
 		return "ClusterSaturated"
 	case AllocSampled:
 		return "AllocSampled"
+	case NodeProvisioned:
+		return "NodeProvisioned"
+	case NodeRetired:
+		return "NodeRetired"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}
@@ -140,6 +155,9 @@ type Event struct {
 	// Waste is the wasted GPU-seconds of a TaskEvicted event
 	// (Eq. 17: work lost since the last checkpoint).
 	Waste float64
+	// Tier is the capacity tier of the node on NodeProvisioned and
+	// NodeRetired events ("spot", "on-demand", "reserved").
+	Tier string
 	// Member names the federation member the event concerns. The
 	// federation stream sets it on every event (member streams leave
 	// it empty); for TaskMigrated it is the source member.
@@ -167,6 +185,8 @@ func (e Event) String() string {
 		fmt.Fprintf(&b, " quota=%g used=%g eta=%g", e.Quota, e.Used, e.Eta)
 	case NodeDown, NodeUp:
 		fmt.Fprintf(&b, " node=%d", e.Node.ID)
+	case NodeProvisioned, NodeRetired:
+		fmt.Fprintf(&b, " node=%d tier=%s", e.Node.ID, e.Tier)
 	case AllocSampled:
 		fmt.Fprintf(&b, " used=%g cap=%g", e.Used, e.Capacity)
 	}

@@ -46,6 +46,14 @@ type SimConfig struct {
 	// drain, scale-out, spot reclamation) injected into the event
 	// queue mid-run. Actions sharing a timestamp apply in order.
 	Scenario []ScenarioAction
+	// Autoscaler, when non-nil, is consulted at every quota tick
+	// (after the demand sample and quota update): it may provision
+	// new pools — delivered after a pre-warm lead through the same
+	// global-sequence event path scenario actions use, so sharded
+	// runs stay byte-identical — and retire nodes, which drain
+	// rather than strand (cordon + spot eviction, capacity leaves
+	// when the last HP pod completes).
+	Autoscaler Autoscaler
 	// EvictionInterceptor, when non-nil, is consulted after a
 	// capacity-loss eviction (node failure, drain, spot reclamation —
 	// never scheduler preemption) before the victim is requeued
@@ -128,6 +136,12 @@ type tickEvent struct{}
 
 type scenarioEvent struct{ action ScenarioAction }
 
+// provisionEvent delivers one autoscaler-ordered pool after its
+// pre-warm lead. It rides the normal event class on shard 0, exactly
+// like scenario actions, so delivery order — and therefore node
+// numbering — is identical at any shard count.
+type provisionEvent struct{ pool cluster.Pool }
+
 // Simulator is the discrete-event driver. Run drives it to
 // completion in one call; NewSimulator/Step/Finish expose the same
 // loop incrementally so several simulators can advance in lockstep on
@@ -178,6 +192,9 @@ type Simulator struct {
 	// after construction (or after the tick chain went idle).
 	tickOn    bool
 	quotaInit bool
+	// retiring holds autoscaler-retired nodes still hosting HP pods;
+	// each leaves capacity (SetDown) when its last pod completes.
+	retiring map[int]*cluster.Node
 	// known and migrated are Inject/interceptor bookkeeping, nil (and
 	// cost-free) for plain Run simulations: known dedupes re-injected
 	// tasks, migrated marks tasks claimed by the interceptor so they
@@ -536,6 +553,9 @@ func (s *Simulator) handle(ev simclock.Event) bool {
 			s.gCount++
 			s.evWindow.Record(s.now, false)
 		}
+		if len(s.retiring) > 0 {
+			s.checkRetiring()
+		}
 		s.sampleAlloc()
 		s.lastProgress = s.now
 		if s.hasObs {
@@ -544,9 +564,21 @@ func (s *Simulator) handle(ev simclock.Event) bool {
 		return true
 	case scenarioEvent:
 		return s.applyScenario(e.action)
+	case provisionEvent:
+		added := s.state.Cluster.AddPool(e.pool)
+		s.refreshCapacity()
+		if s.hasObs {
+			for _, n := range added {
+				s.emit(Event{Kind: NodeProvisioned, Node: n, Tier: n.Tier})
+			}
+		}
+		s.sampleAlloc()
+		s.lastProgress = s.now
+		return true
 	case tickEvent:
 		s.recordDemand()
 		s.updateQuota()
+		s.autoscaleTick()
 		// Keep ticking while there is anything left to drive.
 		active := s.queue.Len() > 0 || s.running > 0
 		stalled := len(s.pending) > 0 && s.now.Sub(s.lastProgress) < s.cfg.IdleTimeout
@@ -819,6 +851,111 @@ func (s *Simulator) drainNode(n *cluster.Node) bool {
 		s.evictVictim(v, CauseDrained, locs)
 	}
 	return true
+}
+
+// autoscaleTick consults the configured autoscaler once per quota
+// tick and applies its plan: provisions join the event queue on shard
+// 0 with their pre-warm lead (the nodes do not exist — and therefore
+// cannot host a pod — until the delivery event fires), retirements
+// apply immediately in plan order.
+func (s *Simulator) autoscaleTick() {
+	if s.cfg.Autoscaler == nil {
+		return
+	}
+	pend := 0.0
+	for _, tk := range s.pending {
+		// Only guaranteed work drives capacity purchases; queued spot
+		// is opportunistic and harvests whatever headroom exists.
+		if tk.Type == task.HP {
+			pend += tk.TotalGPUs()
+		}
+	}
+	plan := s.cfg.Autoscaler.Plan(&AutoscaleContext{
+		Now:         s.now,
+		Cluster:     s.state.Cluster,
+		OrgDemand:   s.orgDemand,
+		HourIndex:   s.now.HourIndex(),
+		PendingGPUs: pend,
+	})
+	for _, p := range plan.Provisions {
+		if p.Pool.Nodes <= 0 {
+			continue
+		}
+		lead := p.Lead
+		if lead < 0 {
+			lead = 0
+		}
+		s.queue.Push(0, s.now.Add(lead), provisionEvent{pool: p.Pool})
+	}
+	retired := false
+	for _, id := range plan.Retire {
+		if s.retireNode(s.state.Cluster.Node(id)) {
+			retired = true
+		}
+	}
+	if retired {
+		// A drained spot task can span several retiring nodes, so a
+		// retirement later in the plan may have emptied an earlier one.
+		if len(s.retiring) > 0 {
+			s.checkRetiring()
+		}
+		s.sampleAlloc()
+		s.lastProgress = s.now
+	}
+}
+
+// retireNode begins retiring one node: it cordons the node, emits
+// NodeRetired, and evicts its spot tasks with the drain cause. The
+// cordon lands before the event — as drainNode does for NodeDown —
+// so observers never see a retired node still schedulable. A node
+// left without pods leaves capacity immediately; one still hosting HP
+// pods parks in the retiring set and leaves when its last pod
+// completes. It reports whether the node was schedulable.
+func (s *Simulator) retireNode(n *cluster.Node) bool {
+	if n == nil || !n.Schedulable() {
+		return false
+	}
+	n.SetCordoned(true)
+	if s.hasObs {
+		s.emit(Event{Kind: NodeRetired, Node: n, Tier: n.Tier})
+	}
+	for _, v := range n.SpotTasks() {
+		locs := s.state.NodesOf(v)
+		s.state.ReleaseAll(v)
+		s.evictVictim(v, CauseDrained, locs)
+	}
+	if n.UsedGPUs() == 0 {
+		n.SetDown(true)
+		s.refreshCapacity()
+	} else {
+		if s.retiring == nil {
+			s.retiring = make(map[int]*cluster.Node)
+		}
+		s.retiring[n.ID] = n
+	}
+	return true
+}
+
+// checkRetiring sweeps the retiring set (in node-ID order, for
+// determinism) and takes now-empty nodes out of capacity.
+func (s *Simulator) checkRetiring() {
+	ids := make([]int, 0, len(s.retiring))
+	for id := range s.retiring {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	changed := false
+	for _, id := range ids {
+		n := s.retiring[id]
+		if n.UsedGPUs() == 0 {
+			n.SetDown(true)
+			delete(s.retiring, id)
+			changed = true
+		}
+	}
+	if changed {
+		s.refreshCapacity()
+	}
 }
 
 // cascadeFailure schedules spread copies of a domain failure onto

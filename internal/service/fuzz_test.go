@@ -1,7 +1,11 @@
 package service
 
 import (
+	"math"
 	"testing"
+
+	"github.com/sjtucitlab/gfs/internal/autoscale"
+	"github.com/sjtucitlab/gfs/internal/pricing"
 )
 
 // FuzzRunSpecJSON drives the POST /v1/sessions spec decoder with
@@ -48,6 +52,55 @@ func FuzzRunSpecJSON(f *testing.F) {
 			sp.Seed != again.Seed || sp.Route != again.Route ||
 			len(sp.Tasks) != len(again.Tasks) {
 			t.Fatalf("decode not deterministic: %+v vs %+v", sp, again)
+		}
+	})
+}
+
+// FuzzAutoscalePolicyJSON drives the spec decoder with arbitrary
+// autoscale sub-objects: it must never panic, and any autoscale spec
+// it accepts must name a known mode and known tiers, carry only
+// finite non-negative lead times, and lower onto a policy without
+// blowing up — those are the promises that keep a malformed session
+// from ever reaching a worker's simulation loop.
+func FuzzAutoscalePolicyJSON(f *testing.F) {
+	f.Add([]byte(`{"autoscale":{"mode":"predictive"}}`))
+	f.Add([]byte(`{"autoscale":{"mode":"reactive","max_nodes":32,"step":2}}`))
+	f.Add([]byte(`{"autoscale":{"mode":"predictive","confidence":0.95,"target_utilization":0.7,"pre_warm_s":600,"idle_after_s":1800}}`))
+	f.Add([]byte(`{"autoscale":{"mode":"predictive","tiers":[{"tier":"spot","max_nodes":16},{"tier":"on-demand","max_nodes":8}]}}`))
+	f.Add([]byte(`{"autoscale":{"mode":"predictive","tiers":[{"tier":"lunar","max_nodes":1}]}}`))
+	f.Add([]byte(`{"autoscale":{"mode":"clairvoyant"}}`))
+	f.Add([]byte(`{"autoscale":{"mode":"reactive","pre_warm_s":-60}}`))
+	f.Add([]byte(`{"autoscale":{"mode":"reactive","confidence":1.5}}`))
+	f.Add([]byte(`{"autoscale":{"mode":"reactive","idle_after_s":1e308}}`))
+	f.Add([]byte(`{"autoscale":null}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sp, err := DecodeRunSpec(data)
+		if err != nil || sp.Autoscale == nil {
+			return
+		}
+		a := sp.Autoscale
+		if _, err := autoscale.ParseMode(a.Mode); err != nil {
+			t.Fatalf("accepted unknown autoscale mode %q", a.Mode)
+		}
+		for i, tq := range a.Tiers {
+			if tq.Tier == "" || !pricing.KnownTier(tq.Tier) {
+				t.Fatalf("accepted unknown tier %q at tiers[%d]", tq.Tier, i)
+			}
+			if tq.MaxNodes < 0 {
+				t.Fatalf("accepted negative tiers[%d].max_nodes %d", i, tq.MaxNodes)
+			}
+		}
+		if math.IsNaN(a.Confidence) || a.Confidence < 0 || a.Confidence >= 1 {
+			t.Fatalf("accepted confidence %g outside [0,1)", a.Confidence)
+		}
+		if math.IsNaN(a.TargetUtilization) || a.TargetUtilization < 0 || a.TargetUtilization > 1 {
+			t.Fatalf("accepted target_utilization %g outside [0,1]", a.TargetUtilization)
+		}
+		if !isFiniteNonNeg(a.PreWarmS) || !isFiniteNonNeg(a.IdleAfterS) {
+			t.Fatalf("accepted non-finite or negative lead: pre_warm_s=%g idle_after_s=%g", a.PreWarmS, a.IdleAfterS)
+		}
+		if pol := a.policy(); pol == nil {
+			t.Fatal("validated spec lowered to a nil policy")
 		}
 	})
 }

@@ -46,6 +46,11 @@ func runSpec(ctx context.Context, sp RunSpec, src gfs.TraceSource, obs gfs.Obser
 	if sp.Shards > 0 {
 		opts = append(opts, gfs.WithShards(sp.Shards))
 	}
+	if sp.Autoscale != nil {
+		// A fresh policy per run: the policy keeps per-run state, and
+		// runSpec may execute concurrently across sessions.
+		opts = append(opts, gfs.WithAutoscaler(sp.Autoscale.policy()))
+	}
 	opts = append(opts, gfs.WithCollectors(collectors...))
 	if sp.Scenario != "" {
 		sc, err := scale.NamedScenario(sp.Scenario)

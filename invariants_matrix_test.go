@@ -14,7 +14,9 @@ import (
 //   - monotone clock: event timestamps never move backwards within a
 //     member's stream (member-local clocks lag the shared federation
 //     clock while idle, so the merged log is only monotone per
-//     member), and sequence numbers are strictly increasing;
+//     member; a stream's pre-pass quota prologue is stamped at the
+//     first arrival's time and is exempt), and sequence numbers are
+//     strictly increasing;
 //   - capacity: no node is ever oversubscribed or negative-used;
 //   - conservation: lifecycle events only ever reference tasks that
 //     arrived, and no task finishes twice.
@@ -52,6 +54,13 @@ func (c *invariantChecker) OnEvent(e gfs.Event) {
 	t := c.t
 	if last, seen := c.lastAt[e.Member]; seen && e.At < last {
 		t.Fatalf("clock moved backwards: event at t=%d after t=%d (%s)", e.At, last, e.String())
+	}
+	if _, seen := c.lastAt[e.Member]; !seen && e.Kind == gfs.QuotaUpdated {
+		// The pre-pass quota prologue is stamped at the first
+		// arrival's time, before the loop drains scenario actions
+		// queued earlier; it anchors the quota, not the clock.
+		c.started, c.lastSeq = true, e.Seq
+		return
 	}
 	if c.started && e.Seq <= c.lastSeq {
 		t.Fatalf("sequence not strictly increasing: seq=%d after seq=%d (%s)", e.Seq, c.lastSeq, e.String())
@@ -193,6 +202,140 @@ func TestInvariantsShardedStorm(t *testing.T) {
 				tasks := gfs.GenerateTrace(goldenTraceCfg(tc.seed))
 				gfs.NewEngine(cl, opts...).Run(tasks)
 				chk.finish(tasks)
+			})
+		}
+	}
+}
+
+// autoscaleInvariantChecker layers the autoscaler's capacity
+// contract on top of the base invariants:
+//
+//   - no task ever occupies an autoscaled node before its
+//     NodeProvisioned event — delivery is when the pre-warm lead
+//     elapses, so earlier usage means capacity jumped the lead;
+//   - retirement drains rather than strands: a retired node takes no
+//     new work and is empty by the end of the run;
+//   - the provision/retire ledger reconciles with the final cluster:
+//     every tiered node traces to a NodeProvisioned event, and the
+//     cordoned ones are exactly the NodeRetired set.
+type autoscaleInvariantChecker struct {
+	*invariantChecker
+	base        map[int]bool
+	provisioned map[int]gfs.Time
+	retired     map[int]gfs.Time
+}
+
+func newAutoscaleChecker(t *testing.T, cl *gfs.Cluster) *autoscaleInvariantChecker {
+	base := map[int]bool{}
+	for _, n := range cl.Nodes() {
+		base[n.ID] = true
+	}
+	return &autoscaleInvariantChecker{
+		invariantChecker: newInvariantChecker(t).watch("", cl),
+		base:             base,
+		provisioned:      map[int]gfs.Time{},
+		retired:          map[int]gfs.Time{},
+	}
+}
+
+func (c *autoscaleInvariantChecker) OnEvent(e gfs.Event) {
+	c.invariantChecker.OnEvent(e)
+	t := c.t
+	switch e.Kind {
+	case gfs.NodeProvisioned:
+		if c.base[e.Node.ID] {
+			t.Fatalf("node %d provisioned but present at start (%s)", e.Node.ID, e.String())
+		}
+		if _, dup := c.provisioned[e.Node.ID]; dup {
+			t.Fatalf("node %d provisioned twice (%s)", e.Node.ID, e.String())
+		}
+		if e.Tier == "" {
+			t.Fatalf("provisioned node %d carries no tier (%s)", e.Node.ID, e.String())
+		}
+		c.provisioned[e.Node.ID] = e.At
+	case gfs.NodeRetired:
+		if _, ok := c.provisioned[e.Node.ID]; !ok {
+			t.Fatalf("node %d retired but never provisioned (%s)", e.Node.ID, e.String())
+		}
+		if _, dup := c.retired[e.Node.ID]; dup {
+			t.Fatalf("node %d retired twice (%s)", e.Node.ID, e.String())
+		}
+		c.retired[e.Node.ID] = e.At
+	}
+	for _, n := range c.clusters[""].Nodes() {
+		if c.base[n.ID] {
+			continue
+		}
+		if _, ok := c.provisioned[n.ID]; !ok && n.UsedGPUs() > capEps {
+			t.Fatalf("node %d hosts %g GPUs before its pre-warm lead elapsed (%s)",
+				n.ID, n.UsedGPUs(), e.String())
+		}
+		if _, gone := c.retired[n.ID]; gone && n.Schedulable() {
+			t.Fatalf("node %d schedulable after retirement (%s)", n.ID, e.String())
+		}
+	}
+}
+
+// finishAutoscale asserts the end-of-run capacity ledger on top of
+// the base conservation checks.
+func (c *autoscaleInvariantChecker) finishAutoscale(tasks []*gfs.Task) {
+	c.finish(tasks)
+	t := c.t
+	tiered, cordoned := 0, 0
+	for _, n := range c.clusters[""].Nodes() {
+		if n.Tier == "" {
+			continue
+		}
+		tiered++
+		if n.Cordoned() {
+			cordoned++
+		}
+		if _, ok := c.provisioned[n.ID]; !ok {
+			t.Fatalf("tiered node %d in final cluster without a NodeProvisioned event", n.ID)
+		}
+		if _, ret := c.retired[n.ID]; ret && n.UsedGPUs() > capEps {
+			t.Fatalf("retired node %d stranded with %g GPUs still in use", n.ID, n.UsedGPUs())
+		}
+	}
+	if tiered != len(c.provisioned) {
+		t.Fatalf("capacity ledger: %d provision events but %d tiered nodes in final cluster",
+			len(c.provisioned), tiered)
+	}
+	if cordoned != len(c.retired) {
+		t.Fatalf("capacity ledger: %d retire events but %d cordoned tiered nodes",
+			len(c.retired), cordoned)
+	}
+}
+
+// TestInvariantsAutoscaleStorm checks the autoscaler's capacity
+// contract under the seeded RandomStorms stack, serial and sharded at
+// {1, 2, 4}, for both policy modes. The under-provisioned base fleet
+// forces real provisioning traffic; the storm interleaves failures
+// and reclamation with capacity churn.
+func TestInvariantsAutoscaleStorm(t *testing.T) {
+	t.Setenv("GFS_SHARD_MIN_NODES", "1")
+	for _, shards := range []int{1, 2, 4} {
+		for _, mode := range []gfs.AutoscaleMode{gfs.AutoscaleReactive, gfs.AutoscalePredictive} {
+			t.Run(fmt.Sprintf("%s/shards%d", mode, shards), func(t *testing.T) {
+				cl := gfs.NewClusterWithTopology("A100", 12, 8, 2, 4)
+				chk := newAutoscaleChecker(t, cl)
+				pol := &gfs.AutoscalePolicy{
+					Mode:     mode,
+					MaxNodes: 8,
+					Step:     2,
+					Curve:    &gfs.DiurnalCurve{PeakHour: 14, Width: 4},
+				}
+				tasks := gfs.GenerateTrace(goldenTraceCfg(27))
+				gfs.NewEngine(cl,
+					gfs.WithObserver(chk),
+					gfs.WithScenario(goldenStorm(27)),
+					gfs.WithAutoscaler(pol),
+					gfs.WithShards(shards),
+				).Run(tasks)
+				if len(chk.provisioned) == 0 {
+					t.Fatal("autoscaler never provisioned; the case no longer exercises the contract")
+				}
+				chk.finishAutoscale(tasks)
 			})
 		}
 	}

@@ -236,10 +236,30 @@ type PoolCost struct {
 	MonthlyBenefitUSD float64 `json:"monthly_benefit_usd"`
 }
 
+// TierCost prices the autoscaled capacity bought in one (tier,
+// model) bucket: the GPU-hours billed between NodeProvisioned and
+// NodeRetired events, at the tier-adjusted hourly price.
+type TierCost struct {
+	// Tier is the capacity tier ("spot", "on-demand", "reserved").
+	Tier string `json:"tier"`
+	// Model is the GPU model provisioned.
+	Model string `json:"model"`
+	// GPUHours is the capacity-hours billed in this bucket.
+	GPUHours float64 `json:"gpu_hours"`
+	// PricePerGPUHour is the tier-adjusted hourly price applied.
+	PricePerGPUHour float64 `json:"price_per_gpu_hour"`
+	// SpendUSD is GPUHours × PricePerGPUHour.
+	SpendUSD float64 `json:"spend_usd"`
+	// Provisioned and Retired count node deliveries and retirements.
+	Provisioned int `json:"provisioned"`
+	Retired     int `json:"retired"`
+}
+
 // CostLedger is the pricing section of a Report, reproducing the
 // paper's monthly-benefit accounting (§4.3, Fig. 9): each pool's
 // allocation-rate improvement over a baseline, priced at cloud list
-// prices under a spot realization margin.
+// prices under a spot realization margin. Runs with an autoscaler
+// additionally carry the per-tier spend on provisioned capacity.
 type CostLedger struct {
 	// Pools holds one priced entry per GPU model, sorted by model.
 	Pools []PoolCost `json:"pools"`
@@ -249,6 +269,11 @@ type CostLedger struct {
 	Margin float64 `json:"margin"`
 	// HoursPerMonth is the billing convention used (730 h).
 	HoursPerMonth float64 `json:"hours_per_month"`
+	// Tiers attributes autoscaled capacity per (tier, model), sorted
+	// by tier then model; empty without capacity churn.
+	Tiers []TierCost `json:"tiers,omitempty"`
+	// TierSpendUSD totals the tier spends.
+	TierSpendUSD float64 `json:"tier_spend_usd,omitempty"`
 }
 
 // CustomSection carries a user collector's contribution to a Report.
@@ -358,6 +383,13 @@ func (r *Report) String() string {
 		for _, p := range c.Pools {
 			fmt.Fprintf(&b, "cost %-6s %5.0f GPUs  %.2f%% → %.2f%%  $%.0f/month\n",
 				p.Model, p.GPUs, 100*p.BaselineRate, 100*p.Rate, p.MonthlyBenefitUSD)
+		}
+		for _, t := range c.Tiers {
+			fmt.Fprintf(&b, "tier %-9s %-6s %8.1f GPU-h  $%.2f/GPU-h  prov %d ret %d  $%.0f\n",
+				t.Tier, t.Model, t.GPUHours, t.PricePerGPUHour, t.Provisioned, t.Retired, t.SpendUSD)
+		}
+		if len(c.Tiers) > 0 {
+			fmt.Fprintf(&b, "tier spend total: $%.0f\n", c.TierSpendUSD)
 		}
 		fmt.Fprintf(&b, "cost total: $%.0f/month (margin %.0f%%)\n", c.MonthlyBenefitUSD, 100*c.Margin)
 	}
