@@ -570,6 +570,9 @@ type CostCollector struct {
 	tierArea map[tierKey]float64
 	tierProv map[tierKey]int
 	tierRet  map[tierKey]int
+	// tiers mirrors tierCap's key set in (tier, model) order, so the
+	// per-event integration loop never ranges the map.
+	tiers []tierKey
 }
 
 // tierKey indexes autoscaled-capacity attribution per capacity tier
@@ -624,6 +627,25 @@ func (c *CostCollector) addModel(model string) {
 	c.models[i] = model
 }
 
+// addTier registers a (tier, model) billing key, keeping the ordered
+// mirror of tierCap's key set in sync.
+func (c *CostCollector) addTier(k tierKey) {
+	if _, ok := c.tierCap[k]; ok {
+		return
+	}
+	c.tierCap[k] = 0
+	i := sort.Search(len(c.tiers), func(i int) bool {
+		t := c.tiers[i]
+		if t.tier != k.tier {
+			return t.tier > k.tier
+		}
+		return t.model >= k.model
+	})
+	c.tiers = append(c.tiers, tierKey{})
+	copy(c.tiers[i+1:], c.tiers[i:])
+	c.tiers[i] = k
+}
+
 // integrateTo closes the per-model integration windows up to at.
 func (c *CostCollector) integrateTo(at Time) {
 	if !c.started {
@@ -631,11 +653,19 @@ func (c *CostCollector) integrateTo(at Time) {
 	}
 	dt := float64(at.Sub(c.lastAt))
 	if dt > 0 {
-		for m, u := range c.used {
-			c.area[m] += u * dt
+		// Iterate the ordered mirrors, not the maps: the additions
+		// are per-key and order-independent, but keeping the hot loop
+		// off map ranges means the determinism argument never depends
+		// on that observation. (charge can key used by "" when no
+		// pool is registered; that entry is never read by Finish, so
+		// skipping it here changes nothing.)
+		for _, m := range c.models {
+			if u, ok := c.used[m]; ok {
+				c.area[m] += u * dt
+			}
 		}
-		for k, cap := range c.tierCap {
-			c.tierArea[k] += cap * dt
+		for _, k := range c.tiers {
+			c.tierArea[k] += c.tierCap[k] * dt
 		}
 		c.lastAt = at
 	}
@@ -709,6 +739,7 @@ func (c *CostCollector) OnEvent(e Event) {
 		gpus := float64(e.Node.Capacity())
 		c.cap[e.Node.Model] += gpus
 		k := tierKey{tier: e.Tier, model: e.Node.Model}
+		c.addTier(k)
 		c.tierCap[k] += gpus
 		c.tierProv[k]++
 	case NodeRetired:
@@ -725,6 +756,7 @@ func (c *CostCollector) OnEvent(e Event) {
 			c.cap[e.Node.Model] = 0
 		}
 		k := tierKey{tier: e.Tier, model: e.Node.Model}
+		c.addTier(k)
 		if c.tierCap[k] -= gpus; c.tierCap[k] < 0 {
 			c.tierCap[k] = 0
 		}

@@ -100,13 +100,19 @@ func (m Member) spotPrice() float64 {
 		}
 	}
 	if best == 0 {
-		n := 0
-		for _, p := range tbl {
-			best += p
-			n++
+		// Average over the table in sorted-key order: float summation
+		// folds left to right, so map order here would leak into the
+		// routed price.
+		models := make([]string, 0, len(tbl))
+		for model := range tbl {
+			models = append(models, model)
 		}
-		if n > 0 {
-			best /= float64(n)
+		sort.Strings(models)
+		for _, model := range models {
+			best += tbl[model]
+		}
+		if len(models) > 0 {
+			best /= float64(len(models))
 		}
 	}
 	return best * pricing.DefaultSpotMargin

@@ -32,6 +32,7 @@ package gfs
 
 import (
 	"io"
+	"sort"
 
 	"github.com/sjtucitlab/gfs/internal/baselines"
 	"github.com/sjtucitlab/gfs/internal/cluster"
@@ -251,7 +252,15 @@ func SyntheticDemandPanel(hours int, totalGPUs float64, seed int64) map[string][
 		base += cfg.Base
 	}
 	factor := totalGPUs / base
+	// Scale in sorted-name order; the per-series writes are
+	// independent, but the public constructor should not rely on that
+	// observation to stay deterministic.
+	names := make([]string, 0, len(panel))
 	for name := range panel {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
 		for i := range panel[name] {
 			panel[name][i] *= factor
 		}

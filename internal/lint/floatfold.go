@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatFold flags float accumulation into captured state inside
+// Parallel scan callbacks. Float addition is not associative: folding
+// the same values in shard-completion order instead of slot order
+// changes low bits, which the golden corpus reads as a diff. The
+// sharded demand pass exists precisely to prevent this — every shard
+// writes its partial sums into per-shard (or per-slot, `slot % shards`)
+// storage, and the single-threaded reduce folds them in shard order.
+// Inside a callback handed to Parallel.Scan or shardGroup.run, a
+// `+=` on a float captured from the enclosing scope bypasses that
+// discipline; a `+=` into an indexed slot does not.
+var FloatFold = &Analyzer{
+	Name: "floatfold",
+	Doc: "flags += float accumulation into captured variables inside Parallel " +
+		"scan callbacks; folds must land in per-shard slots reduced in shard order",
+	Run: runFloatFold,
+}
+
+// fanOutMethods are the (receiver type, method) pairs whose function
+// literal arguments run concurrently per shard.
+var fanOutMethods = map[string]map[string]bool{
+	"Parallel":   {"Scan": true},
+	"shardGroup": {"run": true},
+}
+
+func runFloatFold(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			methods, ok := fanOutMethods[namedTypeName(p.Info.TypeOf(sel.X))]
+			if !ok || !methods[sel.Sel.Name] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if lit, ok := arg.(*ast.FuncLit); ok {
+					checkFold(p, lit)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkFold walks one concurrent callback for order-dependent float
+// accumulation.
+func checkFold(p *Pass, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		default:
+			return true
+		}
+		lhs := as.Lhs[0]
+		if !isFloat(p.Info.TypeOf(lhs)) {
+			return true
+		}
+		switch l := lhs.(type) {
+		case *ast.Ident:
+			obj := p.Info.ObjectOf(l)
+			if obj != nil && !within(obj.Pos(), lit) {
+				p.Reportf(as.Pos(), "float accumulation into captured %s inside a concurrent scan callback folds in shard-completion order; accumulate into a per-shard slot and reduce in shard order, or waive with //lint:ordered <reason>", l.Name)
+			}
+		case *ast.SelectorExpr:
+			// A field on anything reachable from the callback is
+			// shared across shards.
+			p.Reportf(as.Pos(), "float accumulation into shared field %s inside a concurrent scan callback folds in shard-completion order; accumulate into a per-shard slot and reduce in shard order, or waive with //lint:ordered <reason>", types.ExprString(l))
+		}
+		// Index expressions (acc[shard] += v, acc[slot%shards] += v)
+		// are the blessed per-shard slot pattern and stay silent.
+		return true
+	})
+}
+
+// within reports whether pos falls inside the function literal.
+func within(pos token.Pos, lit *ast.FuncLit) bool {
+	return lit.Pos() <= pos && pos < lit.End()
+}
+
+// isFloat reports whether t's underlying type is a floating-point
+// scalar.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// namedTypeName returns the base name of a (possibly pointered) named
+// type, or "".
+func namedTypeName(t types.Type) string {
+	if t == nil {
+		return ""
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Name()
+	}
+	return ""
+}

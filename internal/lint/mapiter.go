@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags range statements over maps in determinism-critical
+// packages. Go randomizes map iteration order per run, so any map
+// range whose body can observe the order is a golden-corpus byte diff
+// waiting to happen. Two shapes stay legal without a waiver:
+//
+//   - for range m { ... } with neither key nor value bound: the body
+//     cannot observe the order, only the count.
+//   - the collect-and-sort idiom: a body that is exactly one append of
+//     the key into a slice (for later sorting). The sort itself is the
+//     author's responsibility; the analyzer checks that nothing else
+//     happens inside the unordered loop.
+//
+// Everything else needs the keys collected and sorted first, or a
+// //lint:ordered <reason> waiver.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc: "flags range over a map in determinism-critical packages unless the " +
+		"loop only collects keys for sorting (or carries a //lint:ordered waiver)",
+	Run: runMapIter,
+}
+
+func runMapIter(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if rs.Key == nil && rs.Value == nil {
+				// Order unobservable: the body sees neither key nor
+				// value.
+				return true
+			}
+			if isKeyCollectLoop(p, rs) {
+				return true
+			}
+			p.Reportf(rs.For, "range over map %s iterates in nondeterministic order; collect and sort the keys first, or waive with //lint:ordered <reason>",
+				types.ExprString(rs.X))
+			return true
+		})
+	}
+}
+
+// isKeyCollectLoop reports whether the range body is exactly the
+// collect idiom: one statement, `s = append(s, ...)`, with the range
+// key referenced in the appended values. Such loops feed a sort; the
+// iteration order they see never escapes unsorted.
+func isKeyCollectLoop(p *Pass, rs *ast.RangeStmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	keyObj := p.Info.ObjectOf(key)
+	if keyObj == nil {
+		return false
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	// The append target and the assignment target must be the same
+	// variable (or field chain), and the key must flow into the
+	// appended values.
+	if !sameRef(p, as.Lhs[0], call.Args[0]) {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		if referencesObject(p, arg, keyObj) {
+			return true
+		}
+	}
+	return false
+}
+
+// sameRef reports whether two expressions name the same variable or
+// the same field chain rooted at the same variable.
+func sameRef(p *Pass, a, b ast.Expr) bool {
+	switch ae := a.(type) {
+	case *ast.Ident:
+		be, ok := b.(*ast.Ident)
+		return ok && p.Info.ObjectOf(ae) != nil && p.Info.ObjectOf(ae) == p.Info.ObjectOf(be)
+	case *ast.SelectorExpr:
+		be, ok := b.(*ast.SelectorExpr)
+		return ok && ae.Sel.Name == be.Sel.Name && sameRef(p, ae.X, be.X)
+	}
+	return false
+}
+
+// referencesObject reports whether the expression mentions obj.
+func referencesObject(p *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,20 @@
+package lint
+
+import "testing"
+
+// TestRepoClean is the suite's own gate: the repository must come up
+// clean under gfslint, so any new violation fails `go test ./...`
+// locally before CI ever sees it. The fixture tests prove the rules
+// fire; this test proves the tree obeys them.
+func TestRepoClean(t *testing.T) {
+	findings, err := Check("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("lint.Check: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if t.Failed() {
+		t.Log("fix the finding, or waive an intentional violation with //lint:ordered <reason>")
+	}
+}

@@ -1,0 +1,88 @@
+// Package floatfold is the fixture for the floatfold rule: float
+// accumulation into captured state inside a concurrent scan callback
+// folds in shard-completion order; per-shard slots stay silent.
+package floatfold
+
+// Parallel mimics the sharded scan helper in internal/sched.
+type Parallel struct{ shards int }
+
+// Scan mimics the concurrent fan-out: f runs once per (shard, slot).
+func (p *Parallel) Scan(f func(shard, slot int)) {
+	for s := 0; s < p.shards; s++ {
+		f(s, s)
+	}
+}
+
+// accum is shared mutable state reachable from callbacks.
+type accum struct{ total float64 }
+
+// badCapture folds into a captured local — completion order leaks
+// into the low bits.
+func badCapture(p *Parallel) float64 {
+	var total float64
+	p.Scan(func(shard, slot int) {
+		total += 1.0 // want "float accumulation into captured total"
+		total /= 2   // want "float accumulation into captured total"
+	})
+	return total
+}
+
+// badField folds into a field on shared state.
+func badField(p *Parallel, a *accum) {
+	p.Scan(func(shard, slot int) {
+		a.total += 2.0 // want "float accumulation into shared field a.total"
+	})
+}
+
+// okSlots is the blessed pattern: per-shard slots, reduced in shard
+// order after the barrier.
+func okSlots(p *Parallel) float64 {
+	partial := make([]float64, 4)
+	p.Scan(func(shard, slot int) {
+		partial[shard] += 1.0
+	})
+	var total float64
+	for _, v := range partial {
+		total += v
+	}
+	return total
+}
+
+// okLocal accumulates into a variable declared inside the callback —
+// nothing escapes, nothing folds across shards.
+func okLocal(p *Parallel) {
+	p.Scan(func(shard, slot int) {
+		var local float64
+		local += 3.0
+		_ = local
+	})
+}
+
+// okInt is a captured integer: racy, but integer addition is
+// associative — that is the race detector's department, not this
+// rule's.
+func okInt(p *Parallel) int {
+	var n int
+	p.Scan(func(shard, slot int) {
+		n++
+	})
+	return n
+}
+
+// okOutside accumulates after the scan, single-threaded.
+func okOutside(p *Parallel) float64 {
+	var total float64
+	p.Scan(func(shard, slot int) {})
+	total += 1.0
+	return total
+}
+
+// waivedFold documents a justified exception.
+func waivedFold(p *Parallel) float64 {
+	var total float64
+	p.Scan(func(shard, slot int) {
+		//lint:ordered single-shard configuration enforced by the caller
+		total += 1.0
+	})
+	return total
+}

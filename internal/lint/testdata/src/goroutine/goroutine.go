@@ -1,0 +1,50 @@
+// Package goroutine is the fixture for the goroutine rule: raw go
+// statements are flagged everywhere except inside the blessed
+// shardGroup worker pool (its methods and its constructor).
+package goroutine
+
+// shardGroup mimics the epoch-barrier pool in internal/sched.
+type shardGroup struct {
+	work chan func()
+}
+
+// newShardGroup is the blessed constructor: it parks the workers
+// before any barrier runs.
+func newShardGroup(n int) *shardGroup {
+	g := &shardGroup{work: make(chan func())}
+	for i := 0; i < n; i++ {
+		go func() {
+			for f := range g.work {
+				f()
+			}
+		}()
+	}
+	return g
+}
+
+// run is a blessed method: fan-out under the pool's barrier.
+func (g *shardGroup) run(f func()) {
+	go f()
+}
+
+// rogue spawns outside the pool and must be flagged.
+func rogue(f func()) {
+	go f() // want "raw go statement outside the shardGroup/Parallel fan-out"
+}
+
+// rogueInLit is a go statement inside a closure of an unblessed
+// function — still flagged; blessing is per-declaration.
+func rogueInLit(fs []func()) func() {
+	return func() {
+		for _, f := range fs {
+			go f() // want "raw go statement outside the shardGroup/Parallel fan-out"
+		}
+	}
+}
+
+// waivedSpawn documents why ordering cannot leak.
+func waivedSpawn(f func(), done chan struct{}) {
+	//lint:ordered awaited before any event is emitted; result order cannot leak
+	go func() { f(); close(done) }()
+	<-done
+}

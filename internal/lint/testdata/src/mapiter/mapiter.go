@@ -1,0 +1,94 @@
+// Package mapiter is the fixture for the mapiter rule: every way a
+// map range can leak iteration order, and the two shapes that stay
+// legal without a waiver.
+package mapiter
+
+import "sort"
+
+var dst = map[string]int{}
+
+// bad observes both key and value in map order.
+func bad(m map[string]int) int {
+	total := 0
+	for k, v := range m { // want "range over map m iterates in nondeterministic order"
+		_ = k
+		total += v
+	}
+	return total
+}
+
+// badValueOnly still observes iteration order through the values.
+func badValueOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map m iterates in nondeterministic order"
+		total += v
+	}
+	return total
+}
+
+// countOnly binds neither key nor value: the body sees only the
+// count, never the order.
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// collectAndSort is the blessed idiom: the unordered loop does
+// nothing but gather keys for the sort below.
+func collectAndSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// scratch mirrors the reusable key buffers the hot paths keep.
+type scratch struct{ keys []string }
+
+// collectField collects into a field chain instead of a local; the
+// idiom check follows the selector.
+func (s *scratch) collectField(m map[string]int) {
+	s.keys = s.keys[:0]
+	for k := range m {
+		s.keys = append(s.keys, k)
+	}
+	sort.Strings(s.keys)
+}
+
+// collectPlus does more than collect inside the unordered loop, so
+// the idiom exemption must not apply.
+func collectPlus(m map[string]int) []string {
+	var keys []string
+	total := 0
+	for k := range m { // want "range over map m iterates in nondeterministic order"
+		keys = append(keys, k)
+		total++
+	}
+	_ = total
+	return keys
+}
+
+// appendOther appends something unrelated to the key: not the
+// collect idiom, just an unordered loop in disguise.
+func appendOther(m map[string]int, k string) []string {
+	var out []string
+	for k = range m { // want "range over map m iterates in nondeterministic order"
+		out = append(out, "x")
+	}
+	_ = k
+	return out
+}
+
+// waived carries a justified waiver: per-key writes into another map
+// are order-independent, a legal reason to keep the direct range.
+func waived(m map[string]int) {
+	//lint:ordered per-key writes into dst are order-independent
+	for k, v := range m {
+		dst[k] = v
+	}
+}

@@ -1,0 +1,83 @@
+// Package sched is the acceptance fixture: a synthetic slice of the
+// simulator core — same package name, same emit-path shape — checked
+// under the full sim-core class. A hand-built Event and an unsorted
+// map range in here must both be flagged.
+package sched
+
+import "sort"
+
+// Kind tags an event.
+type Kind int
+
+// Event mirrors the real event record: At and Seq are stamped by emit
+// under the global sequence.
+type Event struct {
+	Kind Kind
+	At   int64
+	Seq  uint64
+	Org  string
+}
+
+// Simulator is the minimal emit-path owner.
+type Simulator struct {
+	now    int64
+	seq    uint64
+	events []Event
+	demand map[string]float64
+}
+
+// emit stamps and records one event; the only place Event literals
+// may be born.
+func (s *Simulator) emit(e Event) {
+	e.At = s.now
+	e.Seq = s.seq
+	s.seq++
+	s.events = append(s.events, e)
+}
+
+// emitFed is the federation-side twin.
+func (s *Simulator) emitFed(e Event) { s.emit(e) }
+
+// good sends literals straight into the emit path.
+func (s *Simulator) good() {
+	s.emit(Event{Kind: 1})
+	s.emitFed(Event{Kind: 2, Org: "a"})
+}
+
+// bad builds an Event away from the stamping path.
+func (s *Simulator) bad() {
+	e := Event{Kind: 3} // want "sched.Event constructed outside the emit path"
+	s.events = append(s.events, e)
+}
+
+// badReturn publishes an unstamped Event to a caller.
+func (s *Simulator) badReturn() Event {
+	return Event{Kind: 4} // want "sched.Event constructed outside the emit path"
+}
+
+// badRange walks demand in map order before emitting — both the
+// range and nothing else are flagged (the emit literal is blessed).
+func (s *Simulator) badRange() {
+	for org := range s.demand { // want "range over map s.demand iterates in nondeterministic order"
+		s.emit(Event{Kind: 5, Org: org})
+	}
+}
+
+// goodRange is the collect-and-sort spelling of the same walk.
+func (s *Simulator) goodRange() {
+	var orgs []string
+	for org := range s.demand {
+		orgs = append(orgs, org)
+	}
+	sort.Strings(orgs)
+	for _, org := range orgs {
+		s.emit(Event{Kind: 5, Org: org})
+	}
+}
+
+// waivedEvent documents a replay path where stamping already
+// happened.
+func (s *Simulator) waivedEvent(at int64, seq uint64) {
+	//lint:ordered replayed from a recorded stream that is already stamped
+	s.events = append(s.events, Event{Kind: 6, At: at, Seq: seq})
+}

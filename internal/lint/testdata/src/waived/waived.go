@@ -1,0 +1,17 @@
+// Package waived is the fixture for waiver suppression: reasoned
+// waivers in both positions (line above and trailing) silence their
+// findings, so the package checks clean with no stale reports.
+package waived
+
+import "time"
+
+// above uses the comment-above form.
+func above() time.Time {
+	//lint:ordered startup banner only; never reaches a run's output
+	return time.Now()
+}
+
+// trailing uses the same-line form.
+func trailing() time.Time {
+	return time.Now() //lint:ordered startup banner only; never reaches a run's output
+}

@@ -1,0 +1,20 @@
+// Package waiver is the fixture for waiver hygiene, asserted directly
+// by TestWaiverHygiene (want comments cannot share a line with the
+// waivers under test): a stale waiver and an empty-reason waiver are
+// both findings, and the empty-reason one suppresses nothing.
+package waiver
+
+import "time"
+
+// stale carries a waiver with nothing underneath to suppress.
+func stale() int {
+	//lint:ordered this waiver covers nothing and must be reported stale
+	return 1
+}
+
+// noReason has a bare directive: the justification is mandatory, and
+// without one the time.Now below still counts as a finding.
+func noReason() time.Time {
+	//lint:ordered
+	return time.Now()
+}

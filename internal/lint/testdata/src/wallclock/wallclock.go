@@ -1,0 +1,57 @@
+// Package wallclock is the fixture for the wallclock rule: wall-clock
+// reads and the global math/rand source are out; durations, type
+// references and explicitly seeded generators are in.
+package wallclock
+
+import (
+	"math/rand"
+	"time"
+)
+
+// bad reads the wall clock directly.
+func bad() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// badSince is time.Now in disguise.
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+// badStored flags the reference even without a call: the stored func
+// value reads the clock at every later call site.
+var badStored = time.Now // want "time.Now reads the wall clock"
+
+// okDuration uses the time package without touching the clock.
+func okDuration() time.Duration {
+	return 5 * time.Second
+}
+
+// badGlobal draws from the process-wide source.
+func badGlobal() int {
+	return rand.Intn(10) // want "global rand.Intn draws from the process-wide source"
+}
+
+// badShuffle is the global source again, under another name.
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "global rand.Shuffle draws from the process-wide source"
+}
+
+// okSeeded builds the explicitly seeded generator the simulator uses;
+// rand.New and rand.NewSource are constructors, not the global source,
+// and *rand.Rand is a type reference.
+func okSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// okMethod calls methods on a seeded generator — only package-level
+// functions touch the global source.
+func okMethod(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+// waived documents a legitimate wall-clock read.
+func waived() time.Time {
+	//lint:ordered progress logging only; never reaches a run's output
+	return time.Now()
+}

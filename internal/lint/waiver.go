@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// waiverDirective is the comment prefix that suppresses a finding on
+// its own line or the line directly below. The text after the
+// directive is the mandatory justification.
+const waiverDirective = "//lint:ordered"
+
+// waiver is one //lint:ordered comment found in a package.
+type waiver struct {
+	pos    token.Position
+	reason string
+	// used flips when the waiver suppresses at least one finding; an
+	// unused waiver is stale and becomes a finding itself.
+	used bool
+}
+
+// collectWaivers scans the parsed files for //lint:ordered comments.
+// Files must have been parsed with parser.ParseComments.
+func collectWaivers(fset *token.FileSet, files []*ast.File) []*waiver {
+	var out []*waiver
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, waiverDirective)
+				if !ok {
+					continue
+				}
+				// Require a clean directive: "//lint:orderedfoo" is
+				// not a waiver, "//lint:ordered foo" is.
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				out = append(out, &waiver{
+					pos:    fset.Position(c.Pos()),
+					reason: strings.TrimSpace(rest),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// matchWaiver returns the waiver covering a finding at pos: one in the
+// same file on the same line (trailing comment) or the line above
+// (comment-above form). nil when the finding stands.
+func matchWaiver(ws []*waiver, pos token.Position) *waiver {
+	for _, w := range ws {
+		if w.pos.Filename != pos.Filename || w.reason == "" {
+			continue
+		}
+		if w.pos.Line == pos.Line || w.pos.Line == pos.Line-1 {
+			return w
+		}
+	}
+	return nil
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock forbids wall-clock reads and the globally-seeded
+// math/rand source in determinism-critical packages. Simulated time
+// comes from simclock.Time and randomness from an explicitly seeded
+// rand.New(rand.NewSource(seed)); time.Now (and friends) or the
+// process-global rand functions make two identically-configured runs
+// diverge. Constructors that build a seeded generator (rand.New,
+// rand.NewSource, and the v2 equivalents) stay legal — it is the
+// shared global source that is banned, not the package.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbids time.Now/Since/Until and global math/rand functions in " +
+		"determinism-critical packages; seeded rand.New(rand.NewSource(...)) stays legal",
+	Run: runWallClock,
+}
+
+// bannedTime are the time package's wall-clock reads. References are
+// flagged whether called or stored (a stored time.Now func value is
+// still a wall-clock read at every call site).
+var bannedTime = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// allowedRand are the math/rand (and /v2) package-level names that
+// construct explicitly-seeded generators rather than touching the
+// global source.
+var allowedRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes a *Rand, never the global source
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+func runWallClock(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := p.Info.Uses[id].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			switch pn.Imported().Path() {
+			case "time":
+				if bannedTime[sel.Sel.Name] {
+					p.Reportf(sel.Pos(), "time.%s reads the wall clock; deterministic code takes time from simclock.Time (or an injected Clock) — waive with //lint:ordered <reason> if this never reaches a run's output",
+						sel.Sel.Name)
+				}
+			case "math/rand", "math/rand/v2":
+				// Type references (rand.Rand, rand.Source, ...) are
+				// fine; only package-level functions touch the global
+				// source.
+				if _, isType := p.Info.Uses[sel.Sel].(*types.TypeName); isType {
+					return true
+				}
+				if !allowedRand[sel.Sel.Name] {
+					p.Reportf(sel.Pos(), "global rand.%s draws from the process-wide source; use a seeded rand.New(rand.NewSource(seed)) so runs replay byte-identically",
+						sel.Sel.Name)
+				}
+			}
+			return true
+		})
+	}
+}

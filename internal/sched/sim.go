@@ -228,6 +228,10 @@ type Simulator struct {
 	orgNames    []string
 	hourAccum   []float64
 	hourTouched []bool
+	// orgScratch is the reused sorted-key buffer for the hourly
+	// orgDemand walk, keeping the hot loop allocation-free and off
+	// map iteration order.
+	orgScratch []string
 	// hpSorted records whether hpLive is nondecreasing in Submit (true
 	// for generated traces; mid-run injection can break it), and
 	// hpFrontier is then the count of leading tasks with Submit ≤ now.
@@ -339,8 +343,13 @@ func NewSimulator(cfg SimConfig, tasks []*task.Task) *Simulator {
 		// The cleanup closure must not capture s, only the group.
 		runtime.AddCleanup(s, func(g *shardGroup) { g.close() }, s.group)
 	}
-	for org, hist := range cfg.InitialOrgDemand {
-		s.orgDemand[org] = append([]float64(nil), hist...)
+	initOrgs := make([]string, 0, len(cfg.InitialOrgDemand))
+	for org := range cfg.InitialOrgDemand {
+		initOrgs = append(initOrgs, org)
+	}
+	sort.Strings(initOrgs)
+	for _, org := range initOrgs {
+		s.orgDemand[org] = append([]float64(nil), cfg.InitialOrgDemand[org]...)
 	}
 	s.hasObs = len(cfg.Observers) > 0
 	if er, ok := cfg.Quota.(EtaReporter); ok {
@@ -609,8 +618,15 @@ func (s *Simulator) recordDemand() {
 				}
 			}
 			// Orgs with no samples this hour still advance
-			// their series.
+			// their series. Walk the keys sorted (reusing the
+			// scratch buffer): the per-org appends are independent,
+			// but the hot loop stays off map iteration order.
+			s.orgScratch = s.orgScratch[:0]
 			for org := range s.orgDemand {
+				s.orgScratch = append(s.orgScratch, org)
+			}
+			sort.Strings(s.orgScratch)
+			for _, org := range s.orgScratch {
 				if i, ok := s.orgSlots[org]; ok && s.hourTouched[i] {
 					continue
 				}
@@ -795,11 +811,11 @@ func (s *Simulator) updateQuota() {
 	}
 	s.spotQuota = s.cfg.Quota.Quota(ctx)
 	if s.hasObs {
-		ev := Event{Kind: QuotaUpdated, Quota: s.spotQuota, Used: ctx.SpotGuaranteed}
+		var eta float64
 		if s.etaRep != nil {
-			ev.Eta = s.etaRep.CurrentEta()
+			eta = s.etaRep.CurrentEta()
 		}
-		s.emit(ev)
+		s.emit(Event{Kind: QuotaUpdated, Quota: s.spotQuota, Used: ctx.SpotGuaranteed, Eta: eta})
 	}
 }
 

@@ -1,0 +1,24 @@
+package service
+
+import "time"
+
+// Clock abstracts the daemon's wall-clock reads — session lifecycle
+// timestamps, TTL sweeps, the time-to-first-event latency metric.
+// Production uses the realClock default; tests inject a manual clock
+// so TTL expiry and latency metrics are asserted deterministically
+// instead of slept for. The seam is also what lets the wallclock
+// analyzer (internal/lint) cover this package: the one legitimate
+// time.Now lives below behind a //lint:ordered waiver, and any other
+// wall-clock read in the daemon is a gfslint failure.
+type Clock interface {
+	// Now returns the current wall-clock time.
+	Now() time.Time
+}
+
+// realClock is the production Clock.
+type realClock struct{}
+
+// Now implements Clock.
+func (realClock) Now() time.Time {
+	return time.Now() //lint:ordered the daemon's single wall-clock read; everything else goes through the Clock seam
+}

@@ -115,14 +115,15 @@ type eventLog struct {
 	// time-to-first-event metric.
 	firstAt  time.Time
 	hasFirst bool
+	clock    Clock
 }
 
 // newEventLog builds a log retaining at most capacity events.
-func newEventLog(capacity int) *eventLog {
+func newEventLog(capacity int, clock Clock) *eventLog {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &eventLog{notify: make(chan struct{}), buf: make([]wireEvent, capacity)}
+	return &eventLog{notify: make(chan struct{}), buf: make([]wireEvent, capacity), clock: clock}
 }
 
 // append records one simulator event, reporting whether it was the
@@ -154,7 +155,7 @@ func (l *eventLog) append(e gfs.Event) (first bool) {
 	first = !l.hasFirst
 	if first {
 		l.hasFirst = true
-		l.firstAt = time.Now()
+		l.firstAt = l.clock.Now()
 	}
 	if l.armed {
 		close(l.notify)

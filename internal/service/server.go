@@ -31,6 +31,10 @@ type Config struct {
 	SessionTTL time.Duration
 	// EventBuffer sizes each session's event ring (default 16384).
 	EventBuffer int
+	// Clock supplies wall-clock reads (default the real clock).
+	// Tests inject a manual clock to drive TTL expiry and latency
+	// metrics without sleeping.
+	Clock Clock
 }
 
 // withDefaults fills zero fields.
@@ -46,6 +50,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EventBuffer <= 0 {
 		c.EventBuffer = 16384
+	}
+	if c.Clock == nil {
+		c.Clock = realClock{}
 	}
 	return c
 }
@@ -74,7 +81,7 @@ func New(cfg Config) *Server {
 	root, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:  cfg,
-		reg:  newRegistry(),
+		reg:  newRegistry(cfg.Clock),
 		pool: newPool(cfg.Workers, cfg.Backlog),
 		met:  &daemonMetrics{},
 		mux:  http.NewServeMux(),
@@ -123,7 +130,7 @@ func (s *Server) janitor(ttl time.Duration) {
 		case <-s.root.Done():
 			return
 		case <-t.C:
-			s.reg.sweep(time.Now(), ttl)
+			s.reg.sweep(s.cfg.Clock.Now(), ttl)
 		}
 	}
 }
@@ -221,7 +228,7 @@ func (s *Server) runSession(sess *Session) {
 	sess.markRunning()
 	obs := gfs.ObserverFunc(func(e gfs.Event) {
 		if sess.log.append(e) {
-			s.met.recordTTFE(time.Since(sess.created))
+			s.met.recordTTFE(s.cfg.Clock.Now().Sub(sess.created))
 		}
 	})
 	out, err := runSpec(sess.ctx, sess.spec, sess.src, obs)

@@ -540,9 +540,15 @@ func TestMetricsEndpoint(t *testing.T) {
 }
 
 func TestSessionTTLExpiry(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 1, SessionTTL: 50 * time.Millisecond})
+	// Expiry is driven by advancing the injected clock past the TTL,
+	// not by sleeping a real TTL away. The janitor still ticks on a
+	// real timer (clamped to >=100ms), so the poll below only waits
+	// out one sweep interval.
+	clock := newFakeClock(epoch)
+	_, ts := newTestServer(t, Config{Workers: 1, SessionTTL: 200 * time.Millisecond, Clock: clock})
 	st := postSpec(t, ts, smallSpec(), http.StatusAccepted)
 	waitState(t, ts, st.ID, StateDone, 30*time.Second)
+	clock.Advance(time.Minute)
 	deadline := time.Now().Add(10 * time.Second)
 	for {
 		resp, err := http.Get(ts.URL + "/v1/sessions/" + st.ID)

@@ -36,6 +36,7 @@ type Session struct {
 	spec    RunSpec
 	src     gfs.TraceSource // attached trace; consumed by the run
 	log     *eventLog
+	clock   Clock
 	created time.Time
 	ctx     context.Context
 	cancel  context.CancelFunc
@@ -91,7 +92,7 @@ func (s *Session) markRunning() bool {
 		return false
 	}
 	s.state = StateRunning
-	s.started = time.Now()
+	s.started = s.clock.Now()
 	return true
 }
 
@@ -107,7 +108,7 @@ func (s *Session) finish(st State, out runOutcome, errMsg string) bool {
 	s.state = st
 	s.outcome = out
 	s.errMsg = errMsg
-	s.ended = time.Now()
+	s.ended = s.clock.Now()
 	s.mu.Unlock()
 	s.log.close()
 	close(s.doneCh)
@@ -166,14 +167,15 @@ func (s *Session) status() sessionStatus {
 
 // registry tracks sessions by id, in creation order.
 type registry struct {
+	clock    Clock
 	mu       sync.Mutex
 	seq      uint64
 	sessions map[string]*Session
 	order    []*Session
 }
 
-func newRegistry() *registry {
-	return &registry{sessions: make(map[string]*Session)}
+func newRegistry(clock Clock) *registry {
+	return &registry{clock: clock, sessions: make(map[string]*Session)}
 }
 
 // add creates a queued session under the parent context.
@@ -185,8 +187,9 @@ func (r *registry) add(parent context.Context, spec RunSpec, src gfs.TraceSource
 		id:      fmt.Sprintf("s-%06d", r.seq),
 		spec:    spec,
 		src:     src,
-		log:     newEventLog(eventBuffer),
-		created: time.Now(),
+		log:     newEventLog(eventBuffer, r.clock),
+		clock:   r.clock,
+		created: r.clock.Now(),
 		ctx:     ctx,
 		cancel:  cancel,
 		doneCh:  make(chan struct{}),
